@@ -1,0 +1,90 @@
+// Command benchgen emits the generated benchmark circuits in ISCAS .bench
+// format, so they can be inspected, archived, or fed back through leakopt
+// -in (or any other .bench consumer).
+//
+// Usage:
+//
+//	benchgen -out ./benchmarks            # write all eleven circuits
+//	benchgen -name c6288 -out .           # just the multiplier
+//	benchgen -stats                       # print sizes without writing
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"svto/internal/gen"
+	"svto/internal/netlist"
+	"svto/internal/verilog"
+)
+
+func main() {
+	var (
+		out    = flag.String("out", "", "output directory for netlist files")
+		name   = flag.String("name", "", "emit a single named benchmark")
+		stats  = flag.Bool("stats", false, "print circuit statistics")
+		format = flag.String("format", "bench", "output format: bench | verilog")
+	)
+	flag.Parse()
+	if *out == "" && !*stats {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	profiles := gen.Benchmarks()
+	if *name != "" {
+		p, err := gen.ByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = []gen.Profile{p}
+	}
+	if *stats {
+		fmt.Printf("%-8s %8s %8s %8s %8s %8s %6s\n", "name", "inputs", "outputs", "gates", "paperIn", "paperG", "depth")
+	}
+	for _, p := range profiles {
+		c, err := p.Build()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", p.Name, err))
+		}
+		if *stats {
+			st, err := c.Stats()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%-8s %8d %8d %8d %8d %8d %6d\n",
+				p.Name, st.Inputs, st.Outputs, st.Gates, p.PaperInputs, p.PaperGates, st.Depth)
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			ext, write := ".bench", netlist.WriteBench
+			if *format == "verilog" {
+				ext, write = ".v", verilog.Write
+			} else if *format != "bench" {
+				fatal(fmt.Errorf("unknown format %q", *format))
+			}
+			path := filepath.Join(*out, p.Name+ext)
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := write(f, c); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

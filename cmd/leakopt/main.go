@@ -1,0 +1,301 @@
+// Command leakopt computes a standby-mode sleep vector and per-gate Vt/Tox
+// cell-version assignment for a combinational circuit, minimizing total
+// standby leakage under a delay constraint (the paper's core flow).
+//
+// Usage:
+//
+//	leakopt -bench c880 -penalty 5 -method heu2 -heu2sec 5
+//	leakopt -in mydesign.bench -penalty 10 -method heu1 -show-vector
+//	leakopt -bench c432 -method compare -timing -mc 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"svto/internal/core"
+	"svto/internal/gen"
+	"svto/internal/library"
+	"svto/internal/netlist"
+	"svto/internal/power"
+	"svto/internal/seq"
+	"svto/internal/sta"
+	"svto/internal/standby"
+	"svto/internal/tech"
+	"svto/internal/techmap"
+	"svto/internal/variation"
+	"svto/internal/verilog"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "built-in benchmark name (c432..c7552, alu64)")
+		inFile    = flag.String("in", "", "read an ISCAS .bench netlist instead")
+		penalty   = flag.Float64("penalty", 5, "delay penalty in percent of the max penalty range")
+		method    = flag.String("method", "heu1", "heu1 | heu2 | state-only | vt-state | compare")
+		heu2sec   = flag.Float64("heu2sec", 5, "heuristic 2 time budget (seconds)")
+		libOpt    = flag.String("library", "4opt", "4opt | 2opt | 4opt-uniform | 2opt-uniform")
+		vectors   = flag.Int("vectors", 10000, "random vectors for the reference average")
+		showVec   = flag.Bool("show-vector", false, "print the sleep vector")
+		showStats = flag.Bool("stats", false, "print search statistics")
+		reportTop = flag.Int("report", 0, "print a leakage report with the top N gates")
+		csvOut    = flag.String("report-csv", "", "write the per-gate leakage report as CSV")
+		emitWrap  = flag.String("emit-standby", "", "write the circuit with sleep-vector gating inserted (.bench)")
+		fuse      = flag.Bool("fuse", false, "run the AOI/OAI peephole fusion pass before optimizing")
+		seqMode   = flag.Bool("seq", false, "treat -in as a sequential .bench (DFFs cut at the register boundary)")
+		timing    = flag.Bool("timing", false, "print the critical path of the optimized circuit")
+		mcSamples = flag.Int("mc", 0, "run an N-sample process-variation Monte Carlo on the result")
+		mcSigma   = flag.Float64("mc-sigma", 30, "threshold-voltage sigma for -mc, millivolts")
+	)
+	flag.Parse()
+
+	var seqCut *seq.Circuit
+	var circ *netlist.Circuit
+	var err error
+	if *seqMode {
+		if *inFile == "" {
+			fatal(fmt.Errorf("-seq requires -in"))
+		}
+		f, ferr := os.Open(*inFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		seqCut, err = seq.ReadBench(f, strings.TrimSuffix(filepath.Base(*inFile), ".bench"))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		circ, err = techmap.Map(seqCut.Comb)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sequential cut: %d PIs, %d POs, %d flip-flops\n", seqCut.PIs, seqCut.POs, seqCut.NumState())
+	} else {
+		circ, err = loadCircuit(*benchName, *inFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *fuse {
+		before := len(circ.Gates)
+		circ, err = techmap.Optimize(circ)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fusion pass: %d -> %d gates\n", before, len(circ.Gates))
+	}
+	opt, err := libraryOptions(*libOpt)
+	if err != nil {
+		fatal(err)
+	}
+	lib, err := library.Cached(tech.Default(), opt)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := core.NewProblem(circ, lib, sta.DefaultConfig(), core.ObjTotal)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := circ.Stats()
+	if err != nil {
+		fatal(err)
+	}
+	pen := *penalty / 100
+	fmt.Printf("circuit %s: %d inputs, %d outputs, %d gates, depth %d\n",
+		circ.Name, st.Inputs, st.Outputs, st.Gates, st.Depth)
+	fmt.Printf("delay: Dmin=%.0fps Dmax=%.0fps budget(%.0f%%)=%.0fps\n",
+		p.Dmin, p.Dmax, *penalty, p.Budget(pen))
+	avg, err := p.AverageRandomLeak(2004, *vectors)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("average leakage over %d random vectors: %.2f µA\n", *vectors, avg/1000)
+
+	report := func(prob *core.Problem, sol *core.Solution) {
+		if seqCut != nil {
+			piBits, ffBits, err := seqCut.SleepVector(sol.State)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("sleep vector: %d primary-input bits, %d flip-flop bits (load via modified FFs):\n", len(piBits), len(ffBits))
+			for i, ff := range seqCut.FFs {
+				v := 0
+				if ffBits[i] {
+					v = 1
+				}
+				fmt.Printf("  %s=%d", ff.Out, v)
+			}
+			fmt.Println()
+		}
+		if *emitWrap != "" {
+			wrapped, err := standby.Wrap(circ, sol.State)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*emitWrap)
+			if err != nil {
+				fatal(err)
+			}
+			if err := netlist.WriteBench(f, wrapped); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (+%d gating gates)\n", *emitWrap, standby.Overhead(len(circ.Inputs)))
+		}
+		if *timing {
+			st, err := prob.Timer.NewState(sol.Choices)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			fmt.Print(st.FormatCritical(st.Slacks(prob.Budget(pen))))
+		}
+		if *mcSamples > 0 {
+			model := variation.DefaultModel()
+			model.SigmaVtMV = *mcSigma
+			st, err := variation.MonteCarlo(prob, sol, model, *mcSamples)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+			fmt.Print(st.Format())
+		}
+		if *reportTop <= 0 && *csvOut == "" {
+			return
+		}
+		rep, err := power.Analyze(prob, sol)
+		if err != nil {
+			fatal(err)
+		}
+		if *reportTop > 0 {
+			fmt.Println()
+			fmt.Print(rep.Format(*reportTop))
+		}
+		if *csvOut != "" {
+			f, err := os.Create(*csvOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := rep.WriteCSV(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *csvOut)
+		}
+	}
+
+	run := func(label string, f func() (*core.Solution, error)) *core.Solution {
+		sol, err := f()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-12s leak=%8.2f µA  (%.1fX)  Isub=%7.2f µA  delay=%6.0f ps  [%v]\n",
+			label, sol.Leak/1000, avg/sol.Leak, sol.Isub/1000, sol.Delay, sol.Stats.Runtime.Round(time.Millisecond))
+		if *showStats {
+			fmt.Printf("             state nodes %d, gate trials %d, leaves %d, pruned %d\n",
+				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.Pruned)
+		}
+		if *showVec {
+			fmt.Print("             sleep vector: ")
+			for i, v := range sol.State {
+				if v {
+					fmt.Print("1")
+				} else {
+					fmt.Print("0")
+				}
+				if i%8 == 7 {
+					fmt.Print(" ")
+				}
+			}
+			fmt.Println()
+		}
+		return sol
+	}
+
+	heu2Limit := time.Duration(*heu2sec * float64(time.Second))
+	switch *method {
+	case "heu1":
+		report(p, run("heuristic-1", func() (*core.Solution, error) { return p.Heuristic1(pen) }))
+	case "heu2":
+		report(p, run("heuristic-2", func() (*core.Solution, error) { return p.Heuristic2(pen, heu2Limit) }))
+	case "state-only":
+		report(p, run("state-only", p.StateOnly))
+	case "vt-state":
+		vtOpt := opt
+		vtOpt.VtOnly = true
+		vtLib, err := library.Cached(tech.Default(), vtOpt)
+		if err != nil {
+			fatal(err)
+		}
+		pvt, err := core.NewProblem(circ, vtLib, sta.DefaultConfig(), core.ObjIsubOnly)
+		if err != nil {
+			fatal(err)
+		}
+		report(pvt, run("vt+state[12]", func() (*core.Solution, error) { return pvt.Heuristic1(pen) }))
+	case "compare":
+		run("state-only", p.StateOnly)
+		run("heuristic-1", func() (*core.Solution, error) { return p.Heuristic1(pen) })
+		report(p, run("heuristic-2", func() (*core.Solution, error) { return p.Heuristic2(pen, heu2Limit) }))
+	default:
+		fatal(fmt.Errorf("unknown method %q", *method))
+	}
+}
+
+func loadCircuit(benchName, inFile string) (*netlist.Circuit, error) {
+	switch {
+	case benchName != "" && inFile != "":
+		return nil, fmt.Errorf("use only one of -bench and -in")
+	case benchName != "":
+		prof, err := gen.ByName(benchName)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Build()
+	case inFile != "":
+		f, err := os.Open(inFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(inFile, ".v") {
+			return verilog.Read(f, strings.TrimSuffix(filepath.Base(inFile), ".v"))
+		}
+		return netlist.ReadBench(f, inFile)
+	default:
+		return nil, fmt.Errorf("one of -bench or -in is required")
+	}
+}
+
+func libraryOptions(name string) (library.Options, error) {
+	switch name {
+	case "4opt":
+		return library.DefaultOptions(), nil
+	case "2opt":
+		return library.TwoOption(), nil
+	case "4opt-uniform":
+		o := library.DefaultOptions()
+		o.UniformStack = true
+		return o, nil
+	case "2opt-uniform":
+		o := library.TwoOption()
+		o.UniformStack = true
+		return o, nil
+	default:
+		return library.Options{}, fmt.Errorf("unknown library policy %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "leakopt:", err)
+	os.Exit(1)
+}

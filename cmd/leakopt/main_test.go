@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"svto/internal/library"
+)
+
+func TestLibraryOptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		points  int
+		uniform bool
+	}{
+		{"4opt", 4, false},
+		{"2opt", 2, false},
+		{"4opt-uniform", 4, true},
+		{"2opt-uniform", 2, true},
+	}
+	for _, tc := range cases {
+		opt, err := libraryOptions(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if opt.TradeoffPoints != tc.points || opt.UniformStack != tc.uniform {
+			t.Errorf("%s: got %+v", tc.name, opt)
+		}
+		if err := opt.Validate(); err != nil {
+			t.Errorf("%s: invalid options: %v", tc.name, err)
+		}
+	}
+	if _, err := libraryOptions("frob"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	_ = library.DefaultOptions() // keep the import anchored to intent
+}
+
+func TestLoadCircuit(t *testing.T) {
+	if _, err := loadCircuit("", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadCircuit("c432", "x.bench"); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadCircuit("c9999", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	c, err := loadCircuit("c432", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Gates) != 177 {
+		t.Errorf("c432 gates = %d", len(c.Gates))
+	}
+
+	dir := t.TempDir()
+	bench := filepath.Join(dir, "t.bench")
+	if err := os.WriteFile(bench, []byte("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := loadCircuit("", bench); err != nil || len(c.Gates) != 1 {
+		t.Errorf("bench load failed: %v", err)
+	}
+	v := filepath.Join(dir, "t.v")
+	src := "module t (a, y); input a; output y; not u (y, a); endmodule\n"
+	if err := os.WriteFile(v, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := loadCircuit("", v); err != nil || len(c.Gates) != 1 {
+		t.Errorf("verilog load failed: %v", err)
+	}
+	if _, err := loadCircuit("", filepath.Join(dir, "missing.bench")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,141 @@
+// Command libgen builds the dual-Vt/dual-Tox standby cell library and
+// reports its contents: per-state trade-off versions (paper Table 1 /
+// Figure 3), version counts (Table 2), and the inverter leakage
+// decomposition (Figure 1).
+//
+// Usage:
+//
+//	libgen -table1 -table2 -fig1
+//	libgen -versions NOR2
+//	libgen -dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"svto/internal/liberty"
+	"svto/internal/library"
+	"svto/internal/report"
+	"svto/internal/tech"
+)
+
+func main() {
+	var (
+		table1   = flag.Bool("table1", false, "NAND2 trade-off table")
+		table2   = flag.Bool("table2", false, "library version counts")
+		fig1     = flag.Bool("fig1", false, "inverter leakage components")
+		versions = flag.String("versions", "", "list the versions and per-state choices of one cell")
+		dump     = flag.Bool("dump", false, "dump every cell's versions")
+		libOut   = flag.String("liberty", "", "export the library in Liberty (.lib) format to this file")
+		twoOpt   = flag.Bool("2opt", false, "use the reduced 2-option library")
+		uniform  = flag.Bool("uniform", false, "force uniform-stack assignments")
+		nitrided = flag.Bool("nitrided", false, "use the nitrided-oxide process (PMOS gate leakage)")
+	)
+	flag.Parse()
+	if !(*table1 || *table2 || *fig1 || *dump) && *versions == "" && *libOut == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	p := tech.Default()
+	if *nitrided {
+		p = tech.Nitrided()
+	}
+	opt := library.DefaultOptions()
+	if *twoOpt {
+		opt = library.TwoOption()
+	}
+	opt.UniformStack = *uniform
+
+	r := report.NewRunner()
+	r.Tech = p
+
+	if *table1 {
+		rows, err := r.Table1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatTable1(rows))
+	}
+	if *table2 {
+		rows, err := r.Table2()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatTable2(rows))
+	}
+	if *fig1 {
+		rows, err := r.Figure1()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report.FormatFigure1(rows))
+	}
+	if *libOut != "" {
+		lib, err := library.Cached(p, opt)
+		if err != nil {
+			fatal(err)
+		}
+		f, err := os.Create(*libOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := liberty.Write(f, liberty.Export(lib)); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d cells)\n", *libOut, lib.TotalVersions()+len(lib.Names))
+	}
+	if *versions != "" || *dump {
+		lib, err := library.Cached(p, opt)
+		if err != nil {
+			fatal(err)
+		}
+		names := lib.Names
+		if *versions != "" {
+			if lib.Cell(*versions) == nil {
+				fatal(fmt.Errorf("no cell %q in library", *versions))
+			}
+			names = []string{*versions}
+		}
+		for _, name := range names {
+			dumpCell(lib, name)
+		}
+		fmt.Printf("total versions in library: %d\n", lib.TotalVersions())
+	}
+}
+
+func dumpCell(lib *library.Library, name string) {
+	c := lib.Cell(name)
+	tpl := c.Template
+	fmt.Printf("%s: %d inputs, %d transistors, %d versions (policy: %d-option",
+		name, tpl.NumInputs, tpl.NumDevices(), len(c.Versions), lib.Opt.TradeoffPoints)
+	if lib.Opt.UniformStack {
+		fmt.Print(", uniform stacks")
+	}
+	fmt.Println(")")
+	for _, v := range c.Versions {
+		fmt.Printf("  %-12s up=%v down=%v maxDelayFactor=%.2f\n", v.Name, v.Assign.Up, v.Assign.Down, v.MaxFactor)
+	}
+	for s := 0; s < tpl.NumStates(); s++ {
+		fmt.Printf("  state %0*b:", tpl.NumInputs, s)
+		for _, ch := range c.Choices[s] {
+			perm := ""
+			if ch.Perm != nil {
+				perm = fmt.Sprintf(" perm%v", ch.Perm)
+			}
+			fmt.Printf("  [%s %s%s %.1fnA]", ch.Kind, ch.Version.Name, perm, ch.Leak)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "libgen:", err)
+	os.Exit(1)
+}

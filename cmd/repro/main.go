@@ -1,0 +1,139 @@
+// Command repro regenerates the paper's evaluation: Tables 1-5 and Figures
+// 1 and 5 of "Simultaneous State, Vt and Tox Assignment for Total Standby
+// Power Minimization" (DATE 2004).
+//
+// Usage:
+//
+//	repro -all                 # everything, full benchmark set
+//	repro -quick -table3       # small circuit subset, fewer vectors
+//	repro -table4 -circuits c432,c880
+//	repro -fig5 -fig5circuit c7552
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"svto/internal/report"
+)
+
+func main() {
+	var (
+		all     = flag.Bool("all", false, "run every table and figure")
+		table1  = flag.Bool("table1", false, "Table 1: NAND2 version trade-offs")
+		table2  = flag.Bool("table2", false, "Table 2: library sizes")
+		table3  = flag.Bool("table3", false, "Table 3: heuristic comparison")
+		table4  = flag.Bool("table4", false, "Table 4: comparison with traditional techniques")
+		table5  = flag.Bool("table5", false, "Table 5: library options")
+		fig1    = flag.Bool("fig1", false, "Figure 1: inverter leakage components")
+		fig5    = flag.Bool("fig5", false, "Figure 5: leakage vs delay penalty")
+		quick   = flag.Bool("quick", false, "small circuit subset and fewer vectors")
+		vectors = flag.Int("vectors", 10000, "random vectors for the average-leakage column")
+		heu2sec = flag.Float64("heu2sec", 2, "heuristic 2 time budget per circuit and penalty (seconds)")
+		circs   = flag.String("circuits", "", "comma-separated circuit subset (default: all 11)")
+		fig5c   = flag.String("fig5circuit", "c7552", "circuit for the figure 5 sweep")
+		csvDir  = flag.String("csv", "", "also write each result as CSV into this directory")
+	)
+	flag.Parse()
+	if !(*all || *table1 || *table2 || *table3 || *table4 || *table5 || *fig1 || *fig5) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := report.NewRunner()
+	r.Vectors = *vectors
+	r.Heu2Limit = time.Duration(*heu2sec * float64(time.Second))
+	names := report.AllNames()
+	if *quick {
+		names = report.SmallNames()
+		if r.Vectors > 1000 {
+			r.Vectors = 1000
+		}
+	}
+	if *circs != "" {
+		names = strings.Split(*circs, ",")
+	}
+	penalties := []float64{0.05, 0.10, 0.25}
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+	csvOut := func(name string, write func(w io.Writer) error) {
+		if *csvDir == "" {
+			return
+		}
+		path := filepath.Join(*csvDir, name)
+		if err := report.WriteCSVFile(path, write); err != nil {
+			fail(err)
+		}
+		fmt.Printf("(csv: %s)\n\n", path)
+	}
+
+	if *all || *table1 {
+		rows, err := r.Table1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatTable1(rows))
+		csvOut("table1.csv", func(w io.Writer) error { return report.Table1CSV(w, rows) })
+	}
+	if *all || *table2 {
+		rows, err := r.Table2()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatTable2(rows))
+		csvOut("table2.csv", func(w io.Writer) error { return report.Table2CSV(w, rows) })
+	}
+	if *all || *fig1 {
+		rows, err := r.Figure1()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatFigure1(rows))
+	}
+	if *all || *table3 {
+		rows, err := r.Table3(names, penalties)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatTable3(rows, penalties))
+		csvOut("table3.csv", func(w io.Writer) error { return report.Table3CSV(w, rows) })
+	}
+	if *all || *table4 {
+		rows, err := r.Table4(names, penalties)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatTable4(rows, penalties))
+		csvOut("table4.csv", func(w io.Writer) error { return report.Table4CSV(w, rows) })
+	}
+	if *all || *table5 {
+		rows, err := r.Table5(names, 0.05)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatTable5(rows, 0.05))
+		csvOut("table5.csv", func(w io.Writer) error { return report.Table5CSV(w, rows) })
+	}
+	if *all || *fig5 {
+		sweep := []float64{0, 0.02, 0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 0.80, 1.0}
+		pts, err := r.Figure5(*fig5c, sweep)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(report.FormatFigure5(*fig5c, pts))
+		csvOut("figure5.csv", func(w io.Writer) error { return report.Figure5CSV(w, *fig5c, pts) })
+	}
+}

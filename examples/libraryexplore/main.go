@@ -1,0 +1,99 @@
+// Library exploration: walks through the paper's section 3/4 story at the
+// cell level — why a known input state means no transistor ever needs both
+// a high Vt and a thick oxide, how the four trade-off versions of a NAND2
+// are built (figure 3), what pin reordering buys (figure 2(d)/(e)), and
+// what the 2-option and uniform-stack restrictions cost (table 2/5).
+//
+//	go run ./examples/libraryexplore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svto/internal/cell"
+	"svto/internal/library"
+	"svto/internal/tech"
+)
+
+func main() {
+	p := tech.Default()
+
+	fmt.Println("== Device-level knobs ==")
+	fmt.Printf("high-Vt:    Isub / %.1f (NMOS), / %.1f (PMOS)\n",
+		p.SubthresholdReduction(tech.NMOS), p.SubthresholdReduction(tech.PMOS))
+	fmt.Printf("thick-Tox:  Igate / %.1f\n", p.GateReduction(tech.NMOS))
+	fmt.Printf("delay cost: high-Vt %.2fx, thick-Tox %.2fx, both %.2fx\n\n",
+		p.NMOS.RonHighVt, p.NMOS.RonThickTox, p.NMOS.RonHighVt*p.NMOS.RonThickTox)
+
+	fmt.Println("== NAND2 under a known state (figure 3) ==")
+	nand2 := cell.NAND(2)
+	fast := nand2.FastAssignment()
+	for _, s := range []uint{3, 0, 2, 1} {
+		lk, err := nand2.CharacterizeLeakage(p, s, fast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("state %02b: fast version leaks %6.1f nA (Isub %6.1f + Igate %5.1f)\n",
+			s, lk.Total(), lk.IsubUp+lk.IsubDown, lk.Igate)
+	}
+	fmt.Println()
+
+	lib, err := library.Cached(p, library.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := lib.Cell("NAND2")
+	fmt.Printf("generated %d physical NAND2 versions (paper: 5):\n", len(c.Versions))
+	for _, v := range c.Versions {
+		fmt.Printf("  %-10s up=%v down=%v  maxDelayFactor %.2f\n",
+			v.Name, v.Assign.Up, v.Assign.Down, v.MaxFactor)
+	}
+	fmt.Println()
+
+	fmt.Println("== Pin reordering (figure 2(d)/(e)) ==")
+	// In state 10 the OFF NMOS sits above the ON one: the ON device keeps
+	// full gate bias and tunnels. Swapping the pins turns it into state
+	// 01 where the stack suppresses tunneling for free.
+	for s := uint(1); s <= 2; s++ {
+		lk, err := nand2.CharacterizeLeakage(p, s, fast)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("state %02b fast version: %6.1f nA\n", s, lk.Total())
+	}
+	for _, ch := range c.Choices[2] {
+		if ch.Perm != nil {
+			fmt.Printf("state 10 choice %q uses pin permutation %v -> effective state %02b, %6.1f nA\n",
+				ch.Kind, ch.Perm, ch.TemplateState, ch.Leak)
+		}
+	}
+	fmt.Println()
+
+	fmt.Println("== Library size vs flexibility (table 2) ==")
+	lib2, err := library.Cached(p, library.TwoOption())
+	if err != nil {
+		log.Fatal(err)
+	}
+	uOpt := library.DefaultOptions()
+	uOpt.UniformStack = true
+	libU, err := library.Cached(p, uOpt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %10s %10s %16s\n", "cell", "4-option", "2-option", "4-opt uniform")
+	for _, name := range lib.Names {
+		fmt.Printf("%-8s %10d %10d %16d\n", name,
+			len(lib.Cell(name).Versions), len(lib2.Cell(name).Versions), len(libU.Cell(name).Versions))
+	}
+	fmt.Printf("total    %10d %10d %16d\n", lib.TotalVersions(), lib2.TotalVersions(), libU.TotalVersions())
+	fmt.Println()
+
+	fmt.Println("== Uniform-stack restriction on NAND2 state 00 ==")
+	ml := lib.Cell("NAND2").MinLeakChoice(0)
+	mlU := libU.Cell("NAND2").MinLeakChoice(0)
+	fmt.Printf("individual control: %.1f nA with %d slow device(s), fall factor %.2f\n",
+		ml.Leak, ml.Version.Assign.SlowCount(), ml.FallFactor(0))
+	fmt.Printf("uniform stack:      %.1f nA with %d slow device(s), fall factor %.2f\n",
+		mlU.Leak, mlU.Version.Assign.SlowCount(), mlU.FallFactor(0))
+}

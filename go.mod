@@ -1,0 +1,3 @@
+module svto
+
+go 1.22

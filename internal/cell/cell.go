@@ -1,0 +1,286 @@
+// Package cell models static CMOS library cells at the transistor level:
+// their pull-up/pull-down topologies, logic functions, per-input-state
+// leakage characterization (via the spnet DC solver) and the effective-
+// resistance delay model from which NLDM-style lookup tables are generated.
+//
+// A cell's input state is a bitmask: bit i is the logic value of pin i.
+package cell
+
+import (
+	"fmt"
+
+	"svto/internal/spnet"
+	"svto/internal/tech"
+)
+
+// Template describes one library cell archetype (e.g. NAND2) independent of
+// any Vt/Tox assignment.  Gate slots of both networks are pin indices.
+type Template struct {
+	// Name is the cell archetype name, e.g. "NAND2".
+	Name string
+	// NumInputs is the number of input pins.
+	NumInputs int
+	// PinNames holds one name per input pin ("A", "B", ...).
+	PinNames []string
+	// PullUp is the PMOS network between Vdd (top) and the output
+	// (bottom); PullDown is the NMOS network between the output (top)
+	// and ground (bottom).
+	PullUp, PullDown *spnet.Network
+	// Truth is the logic function: bit s holds the output value for
+	// input state s.  Supports up to 5 inputs.
+	Truth uint32
+	// SymGroups lists groups of mutually interchangeable pins, used for
+	// pin reordering.  Pins not listed are not permutable.
+	SymGroups [][]int
+}
+
+// NumStates returns the number of input states (2^NumInputs).
+func (t *Template) NumStates() int { return 1 << t.NumInputs }
+
+// Eval returns the cell's output for the given input state.
+func (t *Template) Eval(state uint) bool { return t.Truth>>(state&31)&1 == 1 }
+
+// NumDevices returns the total transistor count of the cell.
+func (t *Template) NumDevices() int {
+	return len(t.PullUp.Devices) + len(t.PullDown.Devices)
+}
+
+// Validate checks structural consistency: complementary networks (exactly
+// one of pull-up/pull-down conducts in every state, matching Truth), device
+// kinds, and pin bookkeeping.
+func (t *Template) Validate() error {
+	if t.NumInputs <= 0 || t.NumInputs > 5 {
+		return fmt.Errorf("cell %s: NumInputs %d out of range [1,5]", t.Name, t.NumInputs)
+	}
+	if len(t.PinNames) != t.NumInputs {
+		return fmt.Errorf("cell %s: %d pin names for %d pins", t.Name, len(t.PinNames), t.NumInputs)
+	}
+	if t.PullUp == nil || t.PullDown == nil {
+		return fmt.Errorf("cell %s: missing pull network", t.Name)
+	}
+	if t.PullUp.NumGates != t.NumInputs || t.PullDown.NumGates != t.NumInputs {
+		return fmt.Errorf("cell %s: network gate slots disagree with pin count", t.Name)
+	}
+	if err := t.PullUp.Validate(); err != nil {
+		return fmt.Errorf("cell %s pull-up: %w", t.Name, err)
+	}
+	if err := t.PullDown.Validate(); err != nil {
+		return fmt.Errorf("cell %s pull-down: %w", t.Name, err)
+	}
+	for i, d := range t.PullUp.Devices {
+		if d.Kind != tech.PMOS {
+			return fmt.Errorf("cell %s: pull-up device %d is not PMOS", t.Name, i)
+		}
+	}
+	for i, d := range t.PullDown.Devices {
+		if d.Kind != tech.NMOS {
+			return fmt.Errorf("cell %s: pull-down device %d is not NMOS", t.Name, i)
+		}
+	}
+	for s := uint(0); s < uint(t.NumStates()); s++ {
+		up := t.PullUp.Conducts(t.pmosOn(s))
+		down := t.PullDown.Conducts(t.nmosOn(s))
+		if up == down {
+			return fmt.Errorf("cell %s: state %0*b: pull-up conducts=%v, pull-down conducts=%v (not complementary)",
+				t.Name, t.NumInputs, s, up, down)
+		}
+		if up != t.Eval(s) {
+			return fmt.Errorf("cell %s: state %0*b: networks compute %v but Truth says %v",
+				t.Name, t.NumInputs, s, up, t.Eval(s))
+		}
+	}
+	for _, g := range t.SymGroups {
+		for _, p := range g {
+			if p < 0 || p >= t.NumInputs {
+				return fmt.Errorf("cell %s: symmetric pin %d out of range", t.Name, p)
+			}
+		}
+	}
+	return nil
+}
+
+// nmosOn returns per-pin "device is on" flags for NMOS devices.
+func (t *Template) nmosOn(state uint) []bool {
+	on := make([]bool, t.NumInputs)
+	for i := 0; i < t.NumInputs; i++ {
+		on[i] = state>>i&1 == 1
+	}
+	return on
+}
+
+// pmosOn returns per-pin "device is on" flags for PMOS devices.
+func (t *Template) pmosOn(state uint) []bool {
+	on := make([]bool, t.NumInputs)
+	for i := 0; i < t.NumInputs; i++ {
+		on[i] = state>>i&1 == 0
+	}
+	return on
+}
+
+// gateVoltages converts a state bitmask to per-pin voltages.
+func (t *Template) gateVoltages(p *tech.Params, state uint) []float64 {
+	v := make([]float64, t.NumInputs)
+	for i := 0; i < t.NumInputs; i++ {
+		if state>>i&1 == 1 {
+			v[i] = p.Vdd
+		}
+	}
+	return v
+}
+
+// Assignment is a per-device Vt/Tox corner selection for a cell: Up indexes
+// PullUp.Devices, Down indexes PullDown.Devices.
+type Assignment struct {
+	Up, Down []tech.Corner
+}
+
+// FastAssignment returns the all-low-Vt, all-thin-Tox assignment.
+func (t *Template) FastAssignment() Assignment {
+	return Assignment{
+		Up:   uniformCorners(len(t.PullUp.Devices), tech.FastCorner),
+		Down: uniformCorners(len(t.PullDown.Devices), tech.FastCorner),
+	}
+}
+
+// SlowAssignment returns the all-high-Vt, all-thick-Tox assignment: the
+// unknown-state worst-case cell the paper's baseline must use.
+func (t *Template) SlowAssignment() Assignment {
+	return Assignment{
+		Up:   uniformCorners(len(t.PullUp.Devices), tech.SlowCorner),
+		Down: uniformCorners(len(t.PullDown.Devices), tech.SlowCorner),
+	}
+}
+
+func uniformCorners(n int, c tech.Corner) []tech.Corner {
+	s := make([]tech.Corner, n)
+	for i := range s {
+		s[i] = c
+	}
+	return s
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	up := make([]tech.Corner, len(a.Up))
+	copy(up, a.Up)
+	down := make([]tech.Corner, len(a.Down))
+	copy(down, a.Down)
+	return Assignment{Up: up, Down: down}
+}
+
+// Equal reports whether two assignments select identical corners.
+func (a Assignment) Equal(b Assignment) bool {
+	if len(a.Up) != len(b.Up) || len(a.Down) != len(b.Down) {
+		return false
+	}
+	for i := range a.Up {
+		if a.Up[i] != b.Up[i] {
+			return false
+		}
+	}
+	for i := range a.Down {
+		if a.Down[i] != b.Down[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SlowCount returns the number of devices not at the fast corner.
+func (a Assignment) SlowCount() int {
+	n := 0
+	for _, c := range a.Up {
+		if !c.IsFast() {
+			n++
+		}
+	}
+	for _, c := range a.Down {
+		if !c.IsFast() {
+			n++
+		}
+	}
+	return n
+}
+
+// Leakage is the standby leakage decomposition of a cell in one state.
+type Leakage struct {
+	// IsubUp and IsubDown are the rail-to-rail subthreshold currents of
+	// the pull-up and pull-down networks (nA). One of them is always ~0
+	// (the conducting network has no voltage across it).
+	IsubUp, IsubDown float64
+	// Igate is the total gate tunneling current of all devices (nA).
+	Igate float64
+}
+
+// Total returns the cell's total standby leakage (nA).
+func (l Leakage) Total() float64 { return l.IsubUp + l.IsubDown + l.Igate }
+
+// CharacterizeLeakage solves the cell's DC operating point in the given
+// input state under the given assignment and returns the leakage breakdown.
+// This is the library-characterization step the paper performed with SPICE.
+func (t *Template) CharacterizeLeakage(p *tech.Params, state uint, a Assignment) (Leakage, error) {
+	if s := uint(t.NumStates()); state >= s {
+		return Leakage{}, fmt.Errorf("cell %s: state %d out of range (%d states)", t.Name, state, s)
+	}
+	gv := t.gateVoltages(p, state)
+	vout := 0.0
+	if t.Eval(state) {
+		vout = p.Vdd
+	}
+	up, err := t.PullUp.Solve(p, a.Up, gv, p.Vdd, vout)
+	if err != nil {
+		return Leakage{}, fmt.Errorf("cell %s pull-up: %w", t.Name, err)
+	}
+	down, err := t.PullDown.Solve(p, a.Down, gv, vout, 0)
+	if err != nil {
+		return Leakage{}, fmt.Errorf("cell %s pull-down: %w", t.Name, err)
+	}
+	return Leakage{
+		IsubUp:   up.Current,
+		IsubDown: down.Current,
+		Igate:    up.TotalIgate(p) + down.TotalIgate(p),
+	}, nil
+}
+
+// PinCap returns the input capacitance (fF) of the given pin under an
+// assignment: the sum of the gate capacitances of every device the pin
+// drives in both networks.
+func (t *Template) PinCap(p *tech.Params, pin int, a Assignment) float64 {
+	total := 0.0
+	t.PullUp.ForEachDevice(func(r spnet.DevRef) {
+		if r.Gate == pin {
+			d := t.PullUp.Devices[r.Index]
+			d.Corner = a.Up[r.Index]
+			total += d.GateCap(p)
+		}
+	})
+	t.PullDown.ForEachDevice(func(r spnet.DevRef) {
+		if r.Gate == pin {
+			d := t.PullDown.Devices[r.Index]
+			d.Corner = a.Down[r.Index]
+			total += d.GateCap(p)
+		}
+	})
+	return total
+}
+
+// OutputCap returns the intrinsic output-node capacitance (fF): the drain
+// diffusion capacitance of every device attached to the output.  As an
+// approximation, all pull-up devices and the top level of the pull-down
+// network touch the output; we conservatively count every device's drain cap
+// scaled by 1/depth of its network to avoid overcounting inner stack nodes.
+func (t *Template) OutputCap(p *tech.Params) float64 {
+	total := 0.0
+	for _, n := range []*spnet.Network{t.PullUp, t.PullDown} {
+		var caps float64
+		var count int
+		n.ForEachDevice(func(r spnet.DevRef) {
+			caps += n.Devices[r.Index].DrainCap(p)
+			count++
+		})
+		if count > 0 {
+			total += caps / 2 // roughly half the diffusions face the output
+		}
+	}
+	return total
+}

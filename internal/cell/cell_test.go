@@ -1,0 +1,369 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"svto/internal/tech"
+)
+
+func TestStandardTemplatesValidate(t *testing.T) {
+	for _, tpl := range StandardTemplates() {
+		if err := tpl.Validate(); err != nil {
+			t.Errorf("%s: %v", tpl.Name, err)
+		}
+	}
+}
+
+func TestTruthTables(t *testing.T) {
+	inv := Inverter()
+	if !inv.Eval(0) || inv.Eval(1) {
+		t.Error("INV truth table wrong")
+	}
+	nand2 := NAND(2)
+	for s := uint(0); s < 4; s++ {
+		want := s != 3
+		if nand2.Eval(s) != want {
+			t.Errorf("NAND2(%02b) = %v, want %v", s, nand2.Eval(s), want)
+		}
+	}
+	nor2 := NOR(2)
+	for s := uint(0); s < 4; s++ {
+		want := s == 0
+		if nor2.Eval(s) != want {
+			t.Errorf("NOR2(%02b) = %v, want %v", s, nor2.Eval(s), want)
+		}
+	}
+	aoi := AOI21()
+	for s := uint(0); s < 8; s++ {
+		a, b, c := s&1 == 1, s>>1&1 == 1, s>>2&1 == 1
+		if want := !(a && b || c); aoi.Eval(s) != want {
+			t.Errorf("AOI21(%03b) = %v, want %v", s, aoi.Eval(s), want)
+		}
+	}
+	oai := OAI21()
+	for s := uint(0); s < 8; s++ {
+		a, b, c := s&1 == 1, s>>1&1 == 1, s>>2&1 == 1
+		if want := !((a || b) && c); oai.Eval(s) != want {
+			t.Errorf("OAI21(%03b) = %v, want %v", s, oai.Eval(s), want)
+		}
+	}
+}
+
+// Table 1 anchor: NAND2 fastest version in state 11 leaks ~270nA, split
+// ~190nA PMOS Isub and ~80nA NMOS Igate; the minimum-leakage assignment
+// (PMOS high-Vt, NMOS thick-Tox) leaks ~19.5nA.
+func TestNAND2State11Calibration(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	fast, err := nand2.CharacterizeLeakage(p, 3, nand2.FastAssignment())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fast.Total(); math.Abs(got-270) > 15 {
+		t.Errorf("NAND2@11 fastest total = %.1f nA, want ~270", got)
+	}
+	if got := fast.IsubUp; math.Abs(got-190) > 10 {
+		t.Errorf("NAND2@11 PMOS Isub = %.1f nA, want ~190", got)
+	}
+	if got := fast.Igate; math.Abs(got-80) > 8 {
+		t.Errorf("NAND2@11 NMOS Igate = %.1f nA, want ~80", got)
+	}
+	if fast.IsubDown > 1 {
+		t.Errorf("NAND2@11 pull-down Isub should be ~0 (conducting), got %.2f", fast.IsubDown)
+	}
+	minLeak := Assignment{
+		Up:   []tech.Corner{tech.LowIsubCorner, tech.LowIsubCorner},
+		Down: []tech.Corner{tech.LowIgateCorner, tech.LowIgateCorner},
+	}
+	ml, err := nand2.CharacterizeLeakage(p, 3, minLeak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ml.Total(); math.Abs(got-19.5) > 3 {
+		t.Errorf("NAND2@11 min-leak total = %.2f nA, want ~19.5", got)
+	}
+}
+
+// Table 1 anchor: the "fast fall" version (both PMOS high-Vt, NMOS fast)
+// leaks ~91nA and the "fast rise" version (NMOS thick, one PMOS high-Vt)
+// leaks ~109nA in state 11.
+func TestNAND2IntermediateVersions(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	fastFall := Assignment{
+		Up:   []tech.Corner{tech.LowIsubCorner, tech.LowIsubCorner},
+		Down: []tech.Corner{tech.FastCorner, tech.FastCorner},
+	}
+	ff, err := nand2.CharacterizeLeakage(p, 3, fastFall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ff.Total(); math.Abs(got-91.4) > 10 {
+		t.Errorf("NAND2@11 fast-fall total = %.1f nA, want ~91", got)
+	}
+	fastRise := Assignment{
+		Up:   []tech.Corner{tech.FastCorner, tech.LowIsubCorner},
+		Down: []tech.Corner{tech.LowIgateCorner, tech.LowIgateCorner},
+	}
+	fr, err := nand2.CharacterizeLeakage(p, 3, fastRise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fr.Total(); math.Abs(got-109.1) > 12 {
+		t.Errorf("NAND2@11 fast-rise total = %.1f nA, want ~109", got)
+	}
+}
+
+func TestStateOrdering(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	fast := nand2.FastAssignment()
+	leak := func(s uint) float64 {
+		l, err := nand2.CharacterizeLeakage(p, s, fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l.Total()
+	}
+	l11, l10, l01, l00 := leak(3), leak(1), leak(2), leak(0)
+	// The paper's Table 1: 11 is the worst state (270), then 10 (91.8),
+	// then 00 (41.2). 01 is worse than 10 before pin reordering (the OFF
+	// device is at the top so the ON bottom device keeps full gate bias).
+	if !(l11 > l01 && l01 > l10 && l10 > l00) {
+		t.Errorf("state leakage ordering violated: 11=%.1f 01=%.1f 10=%.1f 00=%.1f", l11, l01, l10, l00)
+	}
+}
+
+// Paper figure 2(d)/(e): NAND2 in state 01 (pin A=1... here state bit0=A).
+// With the OFF device on top (state 01: A OFF... our pin 0 is the top
+// device), reordering pins so the OFF input drives the bottom device lets
+// high-Vt alone do the job: the leakages of state 01 and state 10 differ
+// under the fast assignment, and state 10 (OFF at bottom) is lower.
+func TestPinOrderMatters(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	fast := nand2.FastAssignment()
+	// state 01 = pin0(A, top)=1, pin1(B, bottom)=0 -> ON above OFF (good).
+	// state 10 = pin0(A, top)=0, pin1(B, bottom)=1 -> OFF above ON (bad:
+	// the bottom ON device sees nearly full gate bias and tunnels).
+	good, err := nand2.CharacterizeLeakage(p, 1, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := nand2.CharacterizeLeakage(p, 2, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good.Total() >= bad.Total() {
+		t.Errorf("ON-above-OFF (%.1f) should leak less than OFF-above-ON (%.1f)", good.Total(), bad.Total())
+	}
+	if good.Igate >= bad.Igate {
+		t.Errorf("Igate should drive the difference: good=%.1f bad=%.1f", good.Igate, bad.Igate)
+	}
+}
+
+func TestNormalizedDelayTable1(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	minLeak := Assignment{
+		Up:   []tech.Corner{tech.LowIsubCorner, tech.LowIsubCorner},
+		Down: []tech.Corner{tech.LowIgateCorner, tech.LowIgateCorner},
+	}
+	// Rise path: single high-Vt PMOS -> 1.36. Fall path: two thick NMOS
+	// in series -> 1.27.
+	if got := nand2.NormalizedDelay(p, minLeak, 0, true); math.Abs(got-1.36) > 0.01 {
+		t.Errorf("min-leak rise factor = %.3f, want 1.36", got)
+	}
+	if got := nand2.NormalizedDelay(p, minLeak, 0, false); math.Abs(got-1.27) > 0.01 {
+		t.Errorf("min-leak fall factor = %.3f, want 1.27", got)
+	}
+	fast := nand2.FastAssignment()
+	for pin := 0; pin < 2; pin++ {
+		for _, rise := range []bool{true, false} {
+			if got := nand2.NormalizedDelay(p, fast, pin, rise); got != 1 {
+				t.Errorf("fast version factor pin %d rise=%v = %g, want 1", pin, rise, got)
+			}
+		}
+	}
+	if got := nand2.MaxNormalizedDelay(p, minLeak); math.Abs(got-1.36) > 0.01 {
+		t.Errorf("max factor = %.3f, want 1.36", got)
+	}
+}
+
+func TestSlowAssignmentDelayFactor(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	slow := nand2.SlowAssignment()
+	want := p.NMOS.RonHighVt * p.NMOS.RonThickTox // 1.73
+	if got := nand2.MaxNormalizedDelay(p, slow); math.Abs(got-want) > 0.01 {
+		t.Errorf("all-slow factor = %.3f, want %.3f", got, want)
+	}
+}
+
+func TestTable2DLookup(t *testing.T) {
+	tab := &Table2D{
+		X: []float64{0, 10},
+		Y: []float64{0, 10},
+		V: [][]float64{{0, 10}, {10, 20}},
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, y, want float64 }{
+		{0, 0, 0}, {10, 10, 20}, {5, 5, 10}, {0, 10, 10}, {10, 0, 10},
+		{20, 0, 20},   // extrapolation in x
+		{0, -10, -10}, // extrapolation in y
+	}
+	for _, c := range cases {
+		if got := tab.Lookup(c.x, c.y); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Lookup(%g,%g) = %g, want %g", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestTable2DValidate(t *testing.T) {
+	bad := []*Table2D{
+		{X: []float64{0}, Y: []float64{0, 1}, V: [][]float64{{0, 0}}},
+		{X: []float64{0, 0}, Y: []float64{0, 1}, V: [][]float64{{0, 0}, {0, 0}}},
+		{X: []float64{0, 1}, Y: []float64{1, 0}, V: [][]float64{{0, 0}, {0, 0}}},
+		{X: []float64{0, 1}, Y: []float64{0, 1}, V: [][]float64{{0, 0}}},
+		{X: []float64{0, 1}, Y: []float64{0, 1}, V: [][]float64{{0}, {0}}},
+	}
+	for i, tab := range bad {
+		if err := tab.Validate(); err == nil {
+			t.Errorf("bad table %d accepted", i)
+		}
+	}
+}
+
+func TestTimingTablesMonotone(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	arcs := nand2.Timing(p, nand2.FastAssignment())
+	if len(arcs) != 2 {
+		t.Fatalf("want 2 pins of arcs, got %d", len(arcs))
+	}
+	for pin, pt := range arcs {
+		for _, arc := range []Arc{pt.Rise, pt.Fall} {
+			if err := arc.Delay.Validate(); err != nil {
+				t.Fatalf("pin %d: %v", pin, err)
+			}
+			// Delay grows with load and with input slew.
+			d1 := arc.Delay.Lookup(10, 4)
+			d2 := arc.Delay.Lookup(10, 16)
+			d3 := arc.Delay.Lookup(50, 4)
+			if d2 <= d1 || d3 <= d1 {
+				t.Errorf("pin %d: delay not monotone: %g %g %g", pin, d1, d2, d3)
+			}
+			s1 := arc.Slew.Lookup(10, 4)
+			s2 := arc.Slew.Lookup(10, 16)
+			if s2 <= s1 {
+				t.Errorf("pin %d: slew not monotone in load", pin)
+			}
+		}
+	}
+}
+
+func TestSlowTimingSlower(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	fast := nand2.Timing(p, nand2.FastAssignment())
+	slow := nand2.Timing(p, nand2.SlowAssignment())
+	for pin := range fast {
+		df := fast[pin].Fall.Delay.Lookup(20, 8)
+		ds := slow[pin].Fall.Delay.Lookup(20, 8)
+		if ds <= df {
+			t.Errorf("pin %d: slow fall delay %g not above fast %g", pin, ds, df)
+		}
+	}
+}
+
+func TestPinCap(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	fast := nand2.FastAssignment()
+	// Pin A drives one 2um NMOS and one 2um PMOS: 4 fF at 1 fF/um.
+	got := nand2.PinCap(p, 0, fast)
+	want := 2*p.NMOS.Cg + 2*p.PMOS.Cg
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("NAND2 pin cap = %g, want %g", got, want)
+	}
+	// Thick oxide lowers input capacitance.
+	thick := Assignment{
+		Up:   []tech.Corner{tech.LowIgateCorner, tech.LowIgateCorner},
+		Down: []tech.Corner{tech.LowIgateCorner, tech.LowIgateCorner},
+	}
+	if tc := nand2.PinCap(p, 0, thick); tc >= got {
+		t.Errorf("thick-ox pin cap %g should be below thin %g", tc, got)
+	}
+}
+
+func TestCharacterizeLeakageStateRange(t *testing.T) {
+	p := tech.Default()
+	nand2 := NAND(2)
+	if _, err := nand2.CharacterizeLeakage(p, 4, nand2.FastAssignment()); err == nil {
+		t.Error("out-of-range state accepted")
+	}
+}
+
+func TestAssignmentHelpers(t *testing.T) {
+	nand2 := NAND(2)
+	fast := nand2.FastAssignment()
+	slow := nand2.SlowAssignment()
+	if fast.SlowCount() != 0 {
+		t.Errorf("fast SlowCount = %d", fast.SlowCount())
+	}
+	if slow.SlowCount() != 4 {
+		t.Errorf("slow SlowCount = %d, want 4", slow.SlowCount())
+	}
+	if fast.Equal(slow) {
+		t.Error("fast.Equal(slow) = true")
+	}
+	c := slow.Clone()
+	if !c.Equal(slow) {
+		t.Error("clone not equal")
+	}
+	c.Up[0] = tech.FastCorner
+	if c.Equal(slow) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestValidateCatchesNonComplementary(t *testing.T) {
+	bad := NAND(2)
+	bad.Truth = truthOf(2, func(s uint) bool { return true }) // wrong function
+	if err := bad.Validate(); err == nil {
+		t.Error("non-complementary truth accepted")
+	}
+}
+
+func TestInverterLeakageStates(t *testing.T) {
+	p := tech.Default()
+	inv := Inverter()
+	fast := inv.FastAssignment()
+	// Input 1: NMOS ON (full Igate), PMOS OFF (Isub). This is the
+	// dominant-leakage state of figure 1.
+	l1, err := inv.CharacterizeLeakage(p, 1, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Input 0: NMOS OFF (Isub + reverse EDT), PMOS ON (no Igate in SiO2).
+	l0, err := inv.CharacterizeLeakage(p, 0, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Total() <= l0.Total() {
+		t.Errorf("INV@1 (%.1f) should leak more than INV@0 (%.1f)", l1.Total(), l0.Total())
+	}
+	if l1.Igate <= l0.Igate {
+		t.Errorf("INV@1 Igate (%.2f) should exceed INV@0 reverse tunneling (%.2f)", l1.Igate, l0.Igate)
+	}
+	// 2um PMOS OFF Isub ~95nA; 1um NMOS ON Igate ~20nA.
+	if math.Abs(l1.IsubUp-95) > 5 {
+		t.Errorf("INV@1 PMOS Isub = %.1f, want ~95", l1.IsubUp)
+	}
+	if math.Abs(l1.Igate-20) > 2 {
+		t.Errorf("INV@1 NMOS Igate = %.1f, want ~20", l1.Igate)
+	}
+}

@@ -1,0 +1,230 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+
+	"svto/internal/spnet"
+	"svto/internal/tech"
+)
+
+// Table2D is an NLDM-style lookup table: a value sampled over a grid of
+// input slew (X axis, ps) and output load (Y axis, fF), interpolated
+// bilinearly and extrapolated linearly from the edge segments, the way
+// liberty tables are evaluated by STA engines.
+type Table2D struct {
+	X, Y []float64   // strictly increasing axes
+	V    [][]float64 // V[i][j] = value at (X[i], Y[j])
+}
+
+// Lookup evaluates the table at (x, y).
+func (t *Table2D) Lookup(x, y float64) float64 {
+	i := segment(t.X, x)
+	j := segment(t.Y, y)
+	x0, x1 := t.X[i], t.X[i+1]
+	y0, y1 := t.Y[j], t.Y[j+1]
+	fx := (x - x0) / (x1 - x0)
+	fy := (y - y0) / (y1 - y0)
+	v00, v01 := t.V[i][j], t.V[i][j+1]
+	v10, v11 := t.V[i+1][j], t.V[i+1][j+1]
+	return v00*(1-fx)*(1-fy) + v01*(1-fx)*fy + v10*fx*(1-fy) + v11*fx*fy
+}
+
+// segment returns the index of the grid segment to use for value v,
+// clamping to the edge segments for out-of-range values (linear
+// extrapolation).
+func segment(axis []float64, v float64) int {
+	n := len(axis)
+	for i := 1; i < n-1; i++ {
+		if v < axis[i] {
+			return i - 1
+		}
+	}
+	return n - 2
+}
+
+// Validate checks the table grid.
+func (t *Table2D) Validate() error {
+	if len(t.X) < 2 || len(t.Y) < 2 {
+		return fmt.Errorf("table: need at least a 2x2 grid, got %dx%d", len(t.X), len(t.Y))
+	}
+	for i := 1; i < len(t.X); i++ {
+		if t.X[i] <= t.X[i-1] {
+			return fmt.Errorf("table: X axis not increasing at %d", i)
+		}
+	}
+	for j := 1; j < len(t.Y); j++ {
+		if t.Y[j] <= t.Y[j-1] {
+			return fmt.Errorf("table: Y axis not increasing at %d", j)
+		}
+	}
+	if len(t.V) != len(t.X) {
+		return fmt.Errorf("table: %d rows for %d X samples", len(t.V), len(t.X))
+	}
+	for i, row := range t.V {
+		if len(row) != len(t.Y) {
+			return fmt.Errorf("table: row %d has %d values for %d Y samples", i, len(row), len(t.Y))
+		}
+	}
+	return nil
+}
+
+// Arc is one timing arc: propagation delay and output slew tables.
+type Arc struct {
+	Delay *Table2D // ps
+	Slew  *Table2D // ps
+}
+
+// PinTiming holds the two output-transition arcs of one input pin.
+type PinTiming struct {
+	Rise Arc // output rising (through the pull-up network)
+	Fall Arc // output falling (through the pull-down network)
+}
+
+// Standard characterization grid.
+var (
+	slewGrid = []float64{2, 5, 10, 20, 50, 100, 200}
+	loadGrid = []float64{1, 2, 4, 8, 16, 32, 64}
+)
+
+// Delay-model coefficients: delay = ln2 * R * C + k * slewIn,
+// slewOut = ln9 * R * C + slewFeedthrough * slewIn, where
+// k = slewToDelay + slewVtPenalty * (R/Rfast - 1): a degraded (high-Vt or
+// thick-oxide) path starts switching later within the input ramp, which is
+// what makes an all-slow circuit "nearly double" in delay (paper section 6)
+// even though its drive resistance only grows 1.73X.
+const (
+	ln2             = 0.6931471805599453
+	ln9             = 2.1972245773362196
+	slewToDelay     = 0.20
+	slewVtPenalty   = 0.20
+	slewFeedthrough = 0.10
+)
+
+// PathResistance returns the effective switching resistance (kOhm) of the
+// network path exercised when the given pin switches the output: the series
+// resistance of the path containing the pin's device, taking the worst
+// conducting branch for parallel sections the pin does not participate in.
+// rise selects the pull-up network, otherwise the pull-down network.
+func (t *Template) PathResistance(p *tech.Params, a Assignment, pin int, rise bool) float64 {
+	n, corners := t.PullDown, a.Down
+	if rise {
+		n, corners = t.PullUp, a.Up
+	}
+	r, _ := pathRes(p, n, corners, n.Root, pin)
+	return r
+}
+
+// pathRes computes (resistance, containsPin) for an element.
+func pathRes(p *tech.Params, n *spnet.Network, corners []tech.Corner, e spnet.Element, pin int) (float64, bool) {
+	switch el := e.(type) {
+	case spnet.DevRef:
+		d := n.Devices[el.Index]
+		d.Corner = corners[el.Index]
+		return d.Resistance(p), el.Gate == pin
+	case spnet.Series:
+		total, marked := 0.0, false
+		for _, c := range el {
+			r, m := pathRes(p, n, corners, c, pin)
+			total += r
+			marked = marked || m
+		}
+		return total, marked
+	case spnet.Parallel:
+		// Prefer the branch containing the switching pin; otherwise the
+		// section must conduct through some other branch and the worst
+		// case is the highest-resistance one.
+		bestMarked, anyMarked := 0.0, false
+		worst := 0.0
+		for _, c := range el {
+			r, m := pathRes(p, n, corners, c, pin)
+			if m && (!anyMarked || r > bestMarked) {
+				bestMarked, anyMarked = r, true
+			}
+			if r > worst {
+				worst = r
+			}
+		}
+		if anyMarked {
+			return bestMarked, true
+		}
+		return worst, false
+	default:
+		panic(fmt.Sprintf("unknown spnet element %T", e))
+	}
+}
+
+// Timing generates the NLDM tables for every pin of the cell under the
+// given assignment.  This substitutes the SPICE delay characterization of
+// the paper's library flow.
+func (t *Template) Timing(p *tech.Params, a Assignment) []PinTiming {
+	cout := t.OutputCap(p)
+	fast := t.FastAssignment()
+	arcs := make([]PinTiming, t.NumInputs)
+	for pin := 0; pin < t.NumInputs; pin++ {
+		rUp := t.PathResistance(p, a, pin, true)
+		rDown := t.PathResistance(p, a, pin, false)
+		fUp := factorOf(rUp, t.PathResistance(p, fast, pin, true))
+		fDown := factorOf(rDown, t.PathResistance(p, fast, pin, false))
+		arcs[pin] = PinTiming{
+			Rise: makeArc(rUp, cout, fUp),
+			Fall: makeArc(rDown, cout, fDown),
+		}
+	}
+	return arcs
+}
+
+func factorOf(r, rFast float64) float64 {
+	if rFast <= 0 {
+		return 1
+	}
+	return r / rFast
+}
+
+func makeArc(r, cout, factor float64) Arc {
+	k := slewToDelay + slewVtPenalty*(factor-1)
+	return Arc{
+		Delay: tabulate(func(slew, load float64) float64 {
+			return ln2*r*(load+cout) + k*slew
+		}),
+		Slew: tabulate(func(slew, load float64) float64 {
+			return ln9*r*(load+cout) + slewFeedthrough*slew
+		}),
+	}
+}
+
+func tabulate(f func(slew, load float64) float64) *Table2D {
+	v := make([][]float64, len(slewGrid))
+	for i, s := range slewGrid {
+		v[i] = make([]float64, len(loadGrid))
+		for j, l := range loadGrid {
+			v[i][j] = f(s, l)
+		}
+	}
+	return &Table2D{X: slewGrid, Y: loadGrid, V: v}
+}
+
+// NormalizedDelay returns the delay-degradation factor of the assignment
+// relative to the all-fast cell for the given pin and transition, as
+// reported in the paper's Table 1.  It is the path-resistance ratio.
+func (t *Template) NormalizedDelay(p *tech.Params, a Assignment, pin int, rise bool) float64 {
+	fast := t.FastAssignment()
+	rf := t.PathResistance(p, fast, pin, rise)
+	ra := t.PathResistance(p, a, pin, rise)
+	if rf == 0 {
+		return 1
+	}
+	return ra / rf
+}
+
+// MaxNormalizedDelay returns the worst delay-degradation factor of the
+// assignment over all pins and both transitions.
+func (t *Template) MaxNormalizedDelay(p *tech.Params, a Assignment) float64 {
+	worst := 1.0
+	for pin := 0; pin < t.NumInputs; pin++ {
+		for _, rise := range []bool{false, true} {
+			worst = math.Max(worst, t.NormalizedDelay(p, a, pin, rise))
+		}
+	}
+	return worst
+}

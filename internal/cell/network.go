@@ -1,0 +1,74 @@
+package cell
+
+import (
+	"fmt"
+
+	"svto/internal/spnet"
+	"svto/internal/tech"
+)
+
+// NetworkLeak is the leakage contribution of one pull network in one state.
+type NetworkLeak struct {
+	Isub  float64 // rail-to-rail channel current, nA
+	Igate float64 // gate tunneling of the network's devices, nA
+}
+
+// Total returns Isub + Igate.
+func (n NetworkLeak) Total() float64 { return n.Isub + n.Igate }
+
+// Network returns the requested pull network and the matching corner slice
+// accessor. up selects the pull-up.
+func (t *Template) Network(up bool) *spnet.Network {
+	if up {
+		return t.PullUp
+	}
+	return t.PullDown
+}
+
+// CharacterizeNetwork solves one pull network in isolation for the given
+// input state and per-device corners.  Because the output node voltage is
+// fixed by the cell's logic value, the pull-up and pull-down contributions
+// are electrically independent — which is what lets the library generator
+// optimize them separately.
+func (t *Template) CharacterizeNetwork(p *tech.Params, up bool, state uint, corners []tech.Corner) (NetworkLeak, error) {
+	if s := uint(t.NumStates()); state >= s {
+		return NetworkLeak{}, fmt.Errorf("cell %s: state %d out of range", t.Name, state)
+	}
+	gv := t.gateVoltages(p, state)
+	vout := 0.0
+	if t.Eval(state) {
+		vout = p.Vdd
+	}
+	n := t.Network(up)
+	var sol *spnet.Solution
+	var err error
+	if up {
+		sol, err = n.Solve(p, corners, gv, p.Vdd, vout)
+	} else {
+		sol, err = n.Solve(p, corners, gv, vout, 0)
+	}
+	if err != nil {
+		return NetworkLeak{}, fmt.Errorf("cell %s network (up=%v): %w", t.Name, up, err)
+	}
+	return NetworkLeak{Isub: sol.Current, Igate: sol.TotalIgate(p)}, nil
+}
+
+// NetworkDelayFactors returns the per-pin normalized delay factors of one
+// pull network under the given corners, relative to the all-fast network:
+// index i is the degradation of the output transition driven through pin i
+// (rise for the pull-up, fall for the pull-down).
+func (t *Template) NetworkDelayFactors(p *tech.Params, up bool, corners []tech.Corner) []float64 {
+	n := t.Network(up)
+	fast := uniformCorners(len(n.Devices), tech.FastCorner)
+	factors := make([]float64, t.NumInputs)
+	for pin := 0; pin < t.NumInputs; pin++ {
+		rf, _ := pathRes(p, n, fast, n.Root, pin)
+		ra, _ := pathRes(p, n, corners, n.Root, pin)
+		if rf == 0 {
+			factors[pin] = 1
+		} else {
+			factors[pin] = ra / rf
+		}
+	}
+	return factors
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"time"
+
+	"svto/internal/library"
+	"svto/internal/sim"
+)
+
+// Heuristic1 is the paper's first heuristic: a single greedy downward
+// traversal of the state tree (each input takes the branch with the lower
+// partial-state leakage bound), followed by a single pre-sorted descent of
+// the gate tree under the delay budget.
+func (p *Problem) Heuristic1(penalty float64) (*Solution, error) {
+	start := time.Now()
+	var stats SearchStats
+	state, err := p.greedyState(&stats, p.stateBound)
+	if err != nil {
+		return nil, err
+	}
+	sol, err := p.evalState(state, p.Budget(penalty), &stats)
+	if err != nil {
+		return nil, err
+	}
+	stats.Runtime = time.Since(start)
+	sol.Stats = stats
+	return sol, nil
+}
+
+// greedyState performs one bound-guided descent of the state tree.
+func (p *Problem) greedyState(stats *SearchStats, bound func([]sim.Value) (float64, error)) ([]bool, error) {
+	pi := make([]sim.Value, len(p.CC.PI))
+	for i := range pi {
+		pi[i] = sim.X
+	}
+	for _, idx := range p.piOrder {
+		stats.StateNodes++
+		pi[idx] = sim.False
+		b0, err := bound(pi)
+		if err != nil {
+			return nil, err
+		}
+		pi[idx] = sim.True
+		b1, err := bound(pi)
+		if err != nil {
+			return nil, err
+		}
+		if b0 <= b1 {
+			pi[idx] = sim.False
+		}
+	}
+	out := make([]bool, len(pi))
+	for i, v := range pi {
+		out[i] = v == sim.True
+	}
+	return out, nil
+}
+
+// Heuristic2 is the paper's second heuristic: Heuristic1's descent followed
+// by a bounded depth-first search of the state tree until the time budget
+// expires, evaluating each reached leaf with the greedy gate-tree descent.
+func (p *Problem) Heuristic2(penalty float64, limit time.Duration) (*Solution, error) {
+	start := time.Now()
+	deadline := start.Add(limit)
+	budget := p.Budget(penalty)
+
+	best, err := p.Heuristic1(penalty)
+	if err != nil {
+		return nil, err
+	}
+	stats := best.Stats
+
+	pi := make([]sim.Value, len(p.CC.PI))
+	for i := range pi {
+		pi[i] = sim.X
+	}
+	var dfs func(depth int) error
+	dfs = func(depth int) error {
+		if time.Now().After(deadline) {
+			return nil
+		}
+		if depth == len(p.piOrder) {
+			state := make([]bool, len(pi))
+			for i, v := range pi {
+				state[i] = v == sim.True
+			}
+			sol, err := p.evalState(state, budget, &stats)
+			if err != nil {
+				return err
+			}
+			if sol.Leak < best.Leak {
+				sol.Stats = stats
+				best = sol
+			}
+			return nil
+		}
+		idx := p.piOrder[depth]
+		stats.StateNodes++
+		type branch struct {
+			v     sim.Value
+			bound float64
+		}
+		branches := make([]branch, 0, 2)
+		for _, v := range []sim.Value{sim.False, sim.True} {
+			pi[idx] = v
+			b, err := p.stateBound(pi)
+			if err != nil {
+				return err
+			}
+			branches = append(branches, branch{v, b})
+		}
+		if branches[1].bound < branches[0].bound {
+			branches[0], branches[1] = branches[1], branches[0]
+		}
+		for _, br := range branches {
+			if br.bound >= best.Leak {
+				stats.Pruned++
+				continue
+			}
+			pi[idx] = br.v
+			if err := dfs(depth + 1); err != nil {
+				return err
+			}
+		}
+		pi[idx] = sim.X
+		return nil
+	}
+	if err := dfs(0); err != nil {
+		return nil, err
+	}
+	stats.Runtime = time.Since(start)
+	best.Stats = stats
+	return best, nil
+}
+
+// StateOnly models the traditional sleep-vector technique: search the state
+// tree only, with every gate fixed at its fastest version (no Vt or Tox
+// assignment).  The paper reports this achieves only ~6% reduction.
+func (p *Problem) StateOnly() (*Solution, error) {
+	start := time.Now()
+	var stats SearchStats
+	// Bound uses the fast-version leakage instead of the best choice.
+	fastMinAny := make([]float64, len(p.CC.Gates))
+	for gi := range p.CC.Gates {
+		leaks := p.Timer.Cells[gi].Fast().Leak
+		m := leaks[0]
+		for _, l := range leaks[1:] {
+			if l < m {
+				m = l
+			}
+		}
+		fastMinAny[gi] = m
+	}
+	bound := func(pi []sim.Value) (float64, error) {
+		vals, err := sim.Eval3(p.CC, pi)
+		if err != nil {
+			return 0, err
+		}
+		b := 0.0
+		for gi := range p.CC.Gates {
+			if s, known := sim.KnownGateState(&p.CC.Gates[gi], vals); known {
+				b += p.Timer.Cells[gi].Fast().Leak[s]
+			} else {
+				b += fastMinAny[gi]
+			}
+		}
+		return b, nil
+	}
+	state, err := p.greedyState(&stats, bound)
+	if err != nil {
+		return nil, err
+	}
+	states, err := p.gateStates(state)
+	if err != nil {
+		return nil, err
+	}
+	choices := make([]*library.Choice, len(p.CC.Gates))
+	for gi, s := range states {
+		choices[gi] = p.Timer.Cells[gi].FastChoice(s)
+	}
+	leak, isub := leakOf(choices)
+	delay, err := p.Timer.Analyze(choices)
+	if err != nil {
+		return nil, err
+	}
+	stats.Leaves = 1
+	stats.Runtime = time.Since(start)
+	return &Solution{
+		State:   state,
+		Choices: choices,
+		Leak:    leak,
+		Isub:    isub,
+		Delay:   delay,
+		Stats:   stats,
+	}, nil
+}

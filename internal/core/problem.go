@@ -1,0 +1,402 @@
+// Package core implements the paper's primary contribution: simultaneous
+// assignment of the standby-mode input state, per-transistor threshold
+// voltage and gate-oxide thickness (via library cell versions) to minimize
+// total standby leakage under a delay constraint.
+//
+// It provides the exact two-tree branch-and-bound of section 5, the two
+// practical heuristics, and the comparison baselines: average leakage over
+// random vectors, state assignment alone, and the prior state+Vt approach
+// (reference [12], modeled as the same machinery over a Vt-only library
+// with a subthreshold-only objective).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"svto/internal/library"
+	"svto/internal/netlist"
+	"svto/internal/sim"
+	"svto/internal/sta"
+)
+
+// Objective selects what the optimizer minimizes.  The proposed method
+// minimizes total leakage; the [12] baseline only sees subthreshold
+// leakage (gate tunneling did not exist in its model).
+type Objective uint8
+
+const (
+	ObjTotal Objective = iota
+	ObjIsubOnly
+)
+
+// Ablation switches off individual design choices of the search (paper
+// section 5 calls each of them out) so their contribution can be measured.
+type Ablation struct {
+	// NoStateBounds disables the 3-valued partial-state leakage bounds:
+	// branch ordering becomes arbitrary and no state-tree pruning occurs.
+	NoStateBounds bool
+	// FullSTA makes every gate-tree trial re-time the whole circuit from
+	// scratch instead of using incremental propagation.
+	FullSTA bool
+	// NoSortedVersions removes the leakage pre-sorting of the gate-tree
+	// edges: every choice must be tried instead of stopping at the first
+	// feasible one.
+	NoSortedVersions bool
+}
+
+// Problem binds a mapped circuit to a library and timing environment.
+type Problem struct {
+	CC    *netlist.Compiled
+	Lib   *library.Library
+	Timer *sta.Timer
+	Obj   Objective
+	// Ablate disables individual search optimizations (benchmarks only).
+	Ablate Ablation
+	// Dmin and Dmax anchor the delay-penalty definition.
+	Dmin, Dmax float64
+	// piOrder is the state-tree variable order (most influential first).
+	piOrder []int
+	// minChoice[g][s] is the minimum objective value over gate g's
+	// choices in state s; minAny[g] is its minimum over all states.
+	// Both are admissible state-tree bounds ingredients.
+	minChoice [][]float64
+	minAny    []float64
+}
+
+// NewProblem compiles, times and pre-analyzes a circuit.
+func NewProblem(circ *netlist.Circuit, lib *library.Library, cfg sta.Config, obj Objective) (*Problem, error) {
+	cc, err := circ.Compile()
+	if err != nil {
+		return nil, err
+	}
+	timer, err := sta.New(cc, lib, cfg)
+	if err != nil {
+		return nil, err
+	}
+	dmin, dmax, err := timer.DelayBounds()
+	if err != nil {
+		return nil, err
+	}
+	p := &Problem{CC: cc, Lib: lib, Timer: timer, Obj: obj, Dmin: dmin, Dmax: dmax}
+	p.precompute()
+	return p, nil
+}
+
+// objOf returns the choice's objective value.
+func (p *Problem) objOf(ch *library.Choice) float64 {
+	if p.Obj == ObjIsubOnly {
+		return ch.Isub
+	}
+	return ch.Leak
+}
+
+func (p *Problem) precompute() {
+	cc := p.CC
+	p.minChoice = make([][]float64, len(cc.Gates))
+	p.minAny = make([]float64, len(cc.Gates))
+	for gi := range cc.Gates {
+		cell := p.Timer.Cells[gi]
+		ns := cell.Template.NumStates()
+		mins := make([]float64, ns)
+		any := math.Inf(1)
+		for s := 0; s < ns; s++ {
+			m := math.Inf(1)
+			for ci := range cell.Choices[s] {
+				m = math.Min(m, p.objOf(&cell.Choices[s][ci]))
+			}
+			mins[s] = m
+			any = math.Min(any, m)
+		}
+		p.minChoice[gi] = mins
+		p.minAny[gi] = any
+	}
+	// Order primary inputs by transitive fan-out size (influence).
+	reach := make([]int, len(cc.PI))
+	mark := make([]int, len(cc.Gates))
+	for i := range mark {
+		mark[i] = -1
+	}
+	for pii, pi := range cc.PI {
+		var stack []int
+		for _, g := range cc.Fanout[pi] {
+			if mark[g] != pii {
+				mark[g] = pii
+				stack = append(stack, g)
+			}
+		}
+		count := 0
+		for len(stack) > 0 {
+			g := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			count++
+			for _, r := range cc.Fanout[cc.Gates[g].Out] {
+				if mark[r] != pii {
+					mark[r] = pii
+					stack = append(stack, r)
+				}
+			}
+		}
+		reach[pii] = count
+	}
+	p.piOrder = make([]int, len(cc.PI))
+	for i := range p.piOrder {
+		p.piOrder[i] = i
+	}
+	sort.SliceStable(p.piOrder, func(a, b int) bool { return reach[p.piOrder[a]] > reach[p.piOrder[b]] })
+}
+
+// Budget converts a delay-penalty fraction into an absolute delay bound.
+func (p *Problem) Budget(penalty float64) float64 {
+	return sta.Constraint(p.Dmin, p.Dmax, penalty)
+}
+
+// SearchStats instruments a search (paper figure 4's two-tree structure).
+type SearchStats struct {
+	StateNodes int64 // state-tree nodes visited
+	GateTrials int64 // gate-tree version trials (incl. rejected)
+	Leaves     int64 // complete states evaluated with a gate-tree descent
+	Pruned     int64 // state-tree branches cut by the leakage bound
+	Runtime    time.Duration
+}
+
+// Solution is a complete standby assignment.
+type Solution struct {
+	// State[i] is the sleep value of primary input i.
+	State []bool
+	// Choices[g] is the selected version choice of gate g (in compiled
+	// gate order).
+	Choices []*library.Choice
+	// Leak is the total standby leakage (nA); Isub its subthreshold part.
+	Leak, Isub float64
+	// Delay is the circuit delay (ps) under the chosen versions.
+	Delay float64
+	Stats SearchStats
+}
+
+// gateStates simulates the circuit and returns each gate's input state.
+func (p *Problem) gateStates(state []bool) ([]uint, error) {
+	vals, err := sim.Eval(p.CC, state)
+	if err != nil {
+		return nil, err
+	}
+	states := make([]uint, len(p.CC.Gates))
+	for gi := range p.CC.Gates {
+		states[gi] = sim.GateState(&p.CC.Gates[gi], vals)
+	}
+	return states, nil
+}
+
+// leakOf sums total and subthreshold leakage of an assignment.
+func leakOf(choices []*library.Choice) (leak, isub float64) {
+	for _, ch := range choices {
+		leak += ch.Leak
+		isub += ch.Isub
+	}
+	return leak, isub
+}
+
+// AverageRandomLeak estimates the expected standby leakage with no state,
+// Vt or Tox assignment at all (all-fast cells, random states) — the
+// reference column of the paper's tables.  Returns nA.
+func (p *Problem) AverageRandomLeak(seed int64, vectors int) (float64, error) {
+	if vectors <= 0 {
+		return 0, fmt.Errorf("core: need at least one vector")
+	}
+	total := 0.0
+	for _, vec := range sim.RandomVectors(seed, len(p.CC.PI), vectors) {
+		states, err := p.gateStates(vec)
+		if err != nil {
+			return 0, err
+		}
+		for gi, s := range states {
+			total += p.Timer.Cells[gi].Fast().Leak[s]
+		}
+	}
+	return total / float64(vectors), nil
+}
+
+// AllSlowLeak returns the total leakage when every gate uses the all-slow
+// (high-Vt + thick-Tox) version under the given state: the unknown-state
+// fallback design point (100% delay penalty).
+func (p *Problem) AllSlowLeak(state []bool) (float64, error) {
+	states, err := p.gateStates(state)
+	if err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for gi, s := range states {
+		total += p.Timer.Cells[gi].Slow.Leak[s]
+	}
+	return total, nil
+}
+
+// evalState runs the greedy gate-tree descent for a complete input state
+// and packages the result.
+func (p *Problem) evalState(state []bool, budget float64, stats *SearchStats) (*Solution, error) {
+	states, err := p.gateStates(state)
+	if err != nil {
+		return nil, err
+	}
+	choices, err := p.assignGates(states, budget, stats)
+	if err != nil {
+		return nil, err
+	}
+	leak, isub := leakOf(choices)
+	delay, err := p.Timer.Analyze(choices)
+	if err != nil {
+		return nil, err
+	}
+	stats.Leaves++
+	return &Solution{
+		State:   append([]bool(nil), state...),
+		Choices: choices,
+		Leak:    leak,
+		Isub:    isub,
+		Delay:   delay,
+	}, nil
+}
+
+// assignGates performs the paper's greedy single descent of the gate tree:
+// gates visited in order of decreasing potential saving, each taking its
+// lowest-objective choice that keeps the circuit delay within budget (with
+// all unassigned gates at their fastest version), verified by incremental
+// STA.
+func (p *Problem) assignGates(gateStates []uint, budget float64, stats *SearchStats) ([]*library.Choice, error) {
+	cc := p.CC
+	state, err := p.Timer.NewState(p.Timer.FastChoices())
+	if err != nil {
+		return nil, err
+	}
+	type gainGate struct {
+		gi   int
+		gain float64
+	}
+	order := make([]gainGate, len(cc.Gates))
+	for gi := range cc.Gates {
+		cell := p.Timer.Cells[gi]
+		s := gateStates[gi]
+		fast := p.objOf(cell.FastChoice(s))
+		order[gi] = gainGate{gi, fast - p.minChoice[gi][s]}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return order[a].gain > order[b].gain })
+
+	// Shadow assignment for the full-STA ablation.
+	var shadow []*library.Choice
+	if p.Ablate.FullSTA {
+		shadow = p.Timer.FastChoices()
+	}
+	feasible := func(gi int, ch *library.Choice) (bool, error) {
+		if ch.Version.MaxFactor <= 1 {
+			// No delay degradation: always feasible.
+			state.SetChoice(gi, ch)
+			if shadow != nil {
+				shadow[gi] = ch
+			}
+			return true, nil
+		}
+		if p.Ablate.FullSTA {
+			prev := shadow[gi]
+			shadow[gi] = ch
+			d, err := p.Timer.Analyze(shadow)
+			if err != nil {
+				return false, err
+			}
+			if d > budget+1e-9 {
+				shadow[gi] = prev
+				return false, nil
+			}
+			state.SetChoice(gi, ch)
+			return true, nil
+		}
+		current := state.Choice(gi)
+		state.SetChoice(gi, ch)
+		if state.Delay() <= budget+1e-9 {
+			return true, nil
+		}
+		state.SetChoice(gi, current) // revert
+		return false, nil
+	}
+
+	for _, gg := range order {
+		gi := gg.gi
+		cell := p.Timer.Cells[gi]
+		s := gateStates[gi]
+		choices := cell.Choices[s]
+		// Candidate order: ascending objective (pre-sorted by total
+		// leakage; re-rank cheaply for the Isub objective).
+		idx := make([]int, len(choices))
+		for i := range idx {
+			idx[i] = i
+		}
+		if p.Obj == ObjIsubOnly {
+			sort.SliceStable(idx, func(a, b int) bool {
+				return choices[idx[a]].Isub < choices[idx[b]].Isub
+			})
+		}
+		if p.Ablate.NoSortedVersions {
+			// Without pre-sorted edges every candidate must be tried;
+			// keep the best feasible one.
+			var best *library.Choice
+			for _, ci := range idx {
+				ch := &choices[ci]
+				stats.GateTrials++
+				ok, err := feasible(gi, ch)
+				if err != nil {
+					return nil, err
+				}
+				if ok && (best == nil || p.objOf(ch) < p.objOf(best)) {
+					best = ch
+				}
+			}
+			if best != nil {
+				state.SetChoice(gi, best)
+				if shadow != nil {
+					shadow[gi] = best
+				}
+			}
+			continue
+		}
+		for _, ci := range idx {
+			ch := &choices[ci]
+			stats.GateTrials++
+			ok, err := feasible(gi, ch)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				break
+			}
+		}
+	}
+	out := make([]*library.Choice, len(cc.Gates))
+	for gi := range out {
+		out[gi] = state.Choice(gi)
+	}
+	return out, nil
+}
+
+// stateBound computes the admissible leakage lower bound for a partial
+// input assignment using 3-valued simulation: gates with a known input
+// state contribute their best choice there; unknown gates contribute their
+// global best (paper section 5, bounds with partial state information).
+func (p *Problem) stateBound(pi []sim.Value) (float64, error) {
+	if p.Ablate.NoStateBounds {
+		return 0, nil
+	}
+	vals, err := sim.Eval3(p.CC, pi)
+	if err != nil {
+		return 0, err
+	}
+	bound := 0.0
+	for gi := range p.CC.Gates {
+		if s, known := sim.KnownGateState(&p.CC.Gates[gi], vals); known {
+			bound += p.minChoice[gi][s]
+		} else {
+			bound += p.minAny[gi]
+		}
+	}
+	return bound, nil
+}

@@ -1,0 +1,238 @@
+package gen
+
+// Structural arithmetic generators: ripple/carry-save adders, the 16x16
+// array multiplier standing in for c6288, and the 64-bit ALU standing in
+// for the paper's alu64.
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+)
+
+// builder accumulates gates with fresh-name management for structural
+// generators.  Arithmetic circuits are emitted directly in mapped (NAND/
+// INV) form using the classic 9-NAND full adder, matching the NAND-heavy
+// structure of the original ISCAS multiplier.
+type builder struct {
+	c     *netlist.Circuit
+	fresh int
+}
+
+func newBuilder(name string) *builder {
+	return &builder{c: &netlist.Circuit{Name: name}}
+}
+
+func (b *builder) input(name string) string {
+	b.c.Inputs = append(b.c.Inputs, name)
+	return name
+}
+
+func (b *builder) output(net string) { b.c.Outputs = append(b.c.Outputs, net) }
+
+func (b *builder) gate(op netlist.Op, fanin ...string) string {
+	name := fmt.Sprintf("t%d", b.fresh)
+	b.fresh++
+	b.c.Gates = append(b.c.Gates, netlist.Gate{Name: name, Op: op, Fanin: fanin})
+	return name
+}
+
+func (b *builder) nand(a ...string) string { return b.gate(netlist.OpNand, a...) }
+func (b *builder) inv(a string) string     { return b.gate(netlist.OpNot, a) }
+
+// xor2 is the classic 4-NAND exclusive-or; it also returns the shared
+// NAND(a,b) node, which the 9-NAND full adder reuses for its carry.
+func (b *builder) xor2(a, c string) (out, nab string) {
+	n1 := b.nand(a, c)
+	n2 := b.nand(a, n1)
+	n3 := b.nand(c, n1)
+	return b.nand(n2, n3), n1
+}
+
+// fullAdder is the 9-NAND full adder: sum = a^b^cin, cout = majority.
+func (b *builder) fullAdder(a, x, cin string) (sum, cout string) {
+	hs, n1 := b.xor2(a, x)
+	sum, n4 := b.xor2(hs, cin)
+	cout = b.nand(n4, n1)
+	return sum, cout
+}
+
+// halfAdder: sum = a^b (4 NANDs), cout = a&b (shared NAND + inverter).
+func (b *builder) halfAdder(a, x string) (sum, cout string) {
+	sum, n1 := b.xor2(a, x)
+	return sum, b.inv(n1)
+}
+
+// finish validates and returns the circuit.
+func (b *builder) finish() (*netlist.Circuit, error) {
+	if _, err := b.c.Compile(); err != nil {
+		return nil, err
+	}
+	return b.c, nil
+}
+
+// RippleAdder builds an n-bit ripple-carry adder with carry-in: inputs
+// a0..a(n-1), b0..b(n-1), cin; outputs s0..s(n-1), cout.
+func RippleAdder(name string, bits int) (*netlist.Circuit, error) {
+	if bits < 1 {
+		return nil, fmt.Errorf("gen: adder needs >=1 bit")
+	}
+	b := newBuilder(name)
+	as := make([]string, bits)
+	xs := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		xs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	carry := b.input("cin")
+	for i := 0; i < bits; i++ {
+		var sum string
+		sum, carry = b.fullAdder(as[i], xs[i], carry)
+		b.output(sum)
+	}
+	b.output(carry)
+	return b.finish()
+}
+
+// Multiplier builds the bits x bits unsigned array multiplier standing in
+// for c6288 (16x16, NAND-dominated).  Partial products feed a carry-save
+// adder array with a final ripple row.
+func Multiplier(name string, bits int) (*netlist.Circuit, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("gen: multiplier needs >=2 bits")
+	}
+	b := newBuilder(name)
+	as := make([]string, bits)
+	xs := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		xs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	// Partial products: pp[i][j] = a[i] & b[j] (NAND + INV).
+	pp := make([][]string, bits)
+	for i := range pp {
+		pp[i] = make([]string, bits)
+		for j := range pp[i] {
+			pp[i][j] = b.inv(b.nand(as[i], xs[j]))
+		}
+	}
+	// Carry-save rows: row j adds pp[*][j] into the running sum, which
+	// starts as the first column (pp[i][0] has weight i).
+	sum := make([]string, bits)
+	for i := range sum {
+		sum[i] = pp[i][0]
+	}
+	var outs []string
+	outs = append(outs, sum[0]) // product bit 0
+	carries := make([]string, 0, bits)
+	for j := 1; j < bits; j++ {
+		next := make([]string, bits)
+		nextCarries := make([]string, 0, bits)
+		for i := 0; i < bits; i++ {
+			// Weight i+j: add sum[i+1] (shifted), pp[i][j], carry[i].
+			var hi string
+			if i+1 < bits {
+				hi = sum[i+1]
+			}
+			var cin string
+			if len(carries) > i {
+				cin = carries[i]
+			}
+			switch {
+			case hi != "" && cin != "":
+				s, c := b.fullAdder(hi, pp[i][j], cin)
+				next[i], nextCarries = s, append(nextCarries, c)
+			case hi != "":
+				s, c := b.halfAdder(hi, pp[i][j])
+				next[i], nextCarries = s, append(nextCarries, c)
+			case cin != "":
+				s, c := b.halfAdder(cin, pp[i][j])
+				next[i], nextCarries = s, append(nextCarries, c)
+			default:
+				next[i] = pp[i][j]
+			}
+		}
+		sum, carries = next, nextCarries
+		outs = append(outs, sum[0])
+	}
+	// Final ripple row folds the remaining carries into the high half.
+	carry := ""
+	for i := 1; i < bits; i++ {
+		var cin string
+		if len(carries) > i-1 {
+			cin = carries[i-1]
+		}
+		cur := sum[i]
+		if cin != "" && carry != "" {
+			s, c := b.fullAdder(cur, cin, carry)
+			cur, carry = s, c
+		} else if cin != "" {
+			s, c := b.halfAdder(cur, cin)
+			cur, carry = s, c
+		} else if carry != "" {
+			s, c := b.halfAdder(cur, carry)
+			cur, carry = s, c
+		}
+		outs = append(outs, cur)
+	}
+	if carry != "" {
+		outs = append(outs, carry)
+	}
+	for _, o := range outs {
+		b.output(o)
+	}
+	return b.finish()
+}
+
+// ALU builds the n-bit ALU standing in for alu64: two n-bit operands plus a
+// 3-bit function select (n=64 gives the paper's 131 inputs).  Functions:
+// AND, OR, XOR, NOT-A, ADD, SUB-like (add with inverted B), NOR, pass-A.
+func ALU(name string, bits int) (*netlist.Circuit, error) {
+	if bits < 2 {
+		return nil, fmt.Errorf("gen: ALU needs >=2 bits")
+	}
+	b := newBuilder(name)
+	as := make([]string, bits)
+	xs := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		as[i] = b.input(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < bits; i++ {
+		xs[i] = b.input(fmt.Sprintf("b%d", i))
+	}
+	s0 := b.input("s0")
+	s1 := b.input("s1")
+	s2 := b.input("s2")
+	// Select decode, shared across all bits: active-high one-hot terms.
+	ns0, ns1 := b.inv(s0), b.inv(s1)
+	selAnd := b.inv(b.nand(ns1, ns0))
+	selOr := b.inv(b.nand(ns1, s0))
+	selXor := b.inv(b.nand(s1, ns0))
+	selArith := b.inv(b.nand(s1, s0))
+	// Arithmetic chain: B xored with s2 (subtract-style), carry-in = s2.
+	carry := s2
+	arith := make([]string, bits)
+	for i := 0; i < bits; i++ {
+		bx, _ := b.xor2(xs[i], s2)
+		arith[i], carry = b.fullAdder(as[i], bx, carry)
+	}
+	// Logic unit per bit + 4:1 mux over {and, or, xor, arith} as an
+	// AND-OR-invert NAND network: out = NAND(NAND(sel_k, val_k)...).
+	for i := 0; i < bits; i++ {
+		andi := b.nand(as[i], xs[i]) // inverted AND, re-inverted below
+		ori := b.gate(netlist.OpNor, as[i], xs[i])
+		xori, _ := b.xor2(as[i], xs[i])
+		tAnd := b.nand(selAnd, b.inv(andi))
+		tOr := b.nand(selOr, b.inv(ori))
+		tXor := b.nand(selXor, xori)
+		tArith := b.nand(selArith, arith[i])
+		out := b.nand(tAnd, tOr, tXor, tArith)
+		b.output(out)
+	}
+	b.output(carry)
+	return b.finish()
+}

@@ -1,0 +1,108 @@
+package gen
+
+// ECC32 builds a 32-bit single-error-correction circuit standing in for
+// ISCAS c499/c1355 (a 32-bit SEC circuit; c1355 is its NAND-expanded twin).
+// Inputs: 32 received data bits, 8 received check bits, and a correction
+// enable — 41 inputs, matching the original.  Outputs: the 32 corrected
+// data bits.  Eight syndrome XOR trees feed a per-bit signature decoder
+// whose output conditionally flips the data bit.
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+)
+
+// eccSubset reports whether data bit i participates in syndrome k.  The
+// deep variant uses denser subsets, yielding the slightly larger netlist
+// that models c1355 relative to c499.
+func eccSubset(i, k int, deep bool) bool {
+	switch {
+	case k < 5:
+		if deep {
+			return i>>uint(k)&1 == 1 && (i+k)%2 == 0 || i%7 == 0
+		}
+		return i>>uint(k)&1 == 1 && (i+k)%2 == 0
+	case k == 5:
+		return i%6 == 0
+	case k == 6:
+		return i%5 == 0
+	default: // k == 7
+		if deep {
+			return i%3 == 0
+		}
+		return i%4 == 0
+	}
+}
+
+// ECC32 constructs the circuit (generic ops) and maps it to the library.
+func ECC32(name string, deep bool) (*netlist.Circuit, error) {
+	const dataBits, checkBits = 32, 8
+	c := &netlist.Circuit{Name: name}
+	data := make([]string, dataBits)
+	for i := range data {
+		data[i] = fmt.Sprintf("d%d", i)
+		c.Inputs = append(c.Inputs, data[i])
+	}
+	check := make([]string, checkBits)
+	for k := range check {
+		check[k] = fmt.Sprintf("p%d", k)
+		c.Inputs = append(c.Inputs, check[k])
+	}
+	c.Inputs = append(c.Inputs, "en")
+	fresh := 0
+	emit := func(op netlist.Op, fanin ...string) string {
+		n := fmt.Sprintf("e%d", fresh)
+		fresh++
+		c.Gates = append(c.Gates, netlist.Gate{Name: n, Op: op, Fanin: fanin})
+		return n
+	}
+	// Syndrome trees: s_k = parity(data subset) ^ p_k, built as balanced
+	// XOR trees in chunks the mapper will expand to 4-NAND XOR2s.
+	syn := make([]string, checkBits)
+	for k := 0; k < checkBits; k++ {
+		var members []string
+		for i := 0; i < dataBits; i++ {
+			if eccSubset(i, k, deep) {
+				members = append(members, data[i])
+			}
+		}
+		members = append(members, check[k])
+		for len(members) > 1 {
+			var next []string
+			for i := 0; i < len(members); i += 2 {
+				if i+1 == len(members) {
+					next = append(next, members[i])
+					continue
+				}
+				next = append(next, emit(netlist.OpXor, members[i], members[i+1]))
+			}
+			members = next
+		}
+		syn[k] = members[0]
+	}
+	// Shared syndrome complements.
+	nsyn := make([]string, checkBits)
+	for k := range syn {
+		nsyn[k] = emit(netlist.OpNot, syn[k])
+	}
+	// Per-bit decode: the error hits bit i when every syndrome matches
+	// bit i's signature; two NAND4s into a NOR2 form the AND8.
+	for i := 0; i < dataBits; i++ {
+		lits := make([]string, checkBits)
+		for k := 0; k < checkBits; k++ {
+			if eccSubset(i, k, deep) {
+				lits[k] = syn[k]
+			} else {
+				lits[k] = nsyn[k]
+			}
+		}
+		lo := emit(netlist.OpNand, lits[0], lits[1], lits[2], lits[3])
+		hi := emit(netlist.OpNand, lits[4], lits[5], lits[6], lits[7])
+		hit := emit(netlist.OpNor, lo, hi)
+		flip := emit(netlist.OpAnd, hit, "en")
+		out := emit(netlist.OpXor, data[i], flip)
+		c.Outputs = append(c.Outputs, out)
+	}
+	return mapCircuit(c, nil)
+}

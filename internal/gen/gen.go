@@ -1,0 +1,196 @@
+// Package gen produces the benchmark circuits of the evaluation.  The paper
+// used the ISCAS-85 netlists plus a 64-bit ALU, synthesized with an
+// industrial library; those netlists are not redistributable here, so this
+// package builds structural substitutes with matched interface and size:
+//
+//   - real arithmetic structures where the original is arithmetic
+//     (c6288 -> 16x16 array multiplier, alu64 -> 64-bit ALU,
+//     c499/c1355 -> 32-bit SEC error-correction circuits), and
+//   - seeded pseudo-random mapped logic with the published input/gate
+//     counts for the control-dominated circuits (c432, c880, c1908,
+//     c2670, c3540, c5315, c7552).
+//
+// The optimizer's behavior depends on circuit shape (size, depth, fan-out,
+// reconvergence, gate mix), not on the specific Boolean functions, so these
+// substitutes exercise the same algorithmic paths; absolute currents differ
+// from the paper but reduction factors are comparable.  Real ISCAS .bench
+// files can be loaded through netlist.ReadBench instead when available.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svto/internal/netlist"
+	"svto/internal/techmap"
+)
+
+// Profile describes one benchmark circuit of the evaluation.
+type Profile struct {
+	// Name is the paper's circuit name (c432 ... alu64).
+	Name string
+	// PaperInputs and PaperGates are the published interface/size
+	// numbers (paper Table 4) the substitute is matched against.
+	PaperInputs, PaperGates int
+	// Build constructs the mapped substitute circuit.
+	Build func() (*netlist.Circuit, error)
+}
+
+// Benchmarks returns the full evaluation set in the paper's order.
+func Benchmarks() []Profile {
+	return []Profile{
+		{"c432", 36, 177, func() (*netlist.Circuit, error) { return RandomLogic("c432", 1432, 36, 177) }},
+		{"c499", 41, 519, func() (*netlist.Circuit, error) { return ECC32("c499", false) }},
+		{"c880", 60, 364, func() (*netlist.Circuit, error) { return RandomLogic("c880", 1880, 60, 364) }},
+		{"c1355", 41, 528, func() (*netlist.Circuit, error) { return ECC32("c1355", true) }},
+		{"c1908", 33, 432, func() (*netlist.Circuit, error) { return RandomLogic("c1908", 1908, 33, 432) }},
+		{"c2670", 233, 825, func() (*netlist.Circuit, error) { return RandomLogic("c2670", 2670, 233, 825) }},
+		{"c3540", 50, 940, func() (*netlist.Circuit, error) { return RandomLogic("c3540", 3540, 50, 940) }},
+		{"c5315", 178, 1627, func() (*netlist.Circuit, error) { return RandomLogic("c5315", 5315, 178, 1627) }},
+		{"c6288", 32, 2470, func() (*netlist.Circuit, error) { return Multiplier("c6288", 16) }},
+		{"c7552", 207, 1994, func() (*netlist.Circuit, error) { return RandomLogic("c7552", 7552, 207, 1994) }},
+		{"alu64", 131, 1803, func() (*netlist.Circuit, error) { return ALU("alu64", 64) }},
+	}
+}
+
+// ByName returns the named benchmark profile.
+func ByName(name string) (Profile, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("gen: unknown benchmark %q", name)
+}
+
+// mappedOps is the weighted op mix of the random generator, loosely modeled
+// on post-synthesis ISCAS gate distributions (NAND-rich, some complex cells).
+var mappedOps = []struct {
+	op     netlist.Op
+	fanin  int
+	weight int
+}{
+	{netlist.OpNand, 2, 34},
+	{netlist.OpNor, 2, 16},
+	{netlist.OpNot, 1, 14},
+	{netlist.OpNand, 3, 10},
+	{netlist.OpNor, 3, 6},
+	{netlist.OpAoi21, 3, 7},
+	{netlist.OpOai21, 3, 5},
+	{netlist.OpNand, 4, 5},
+	{netlist.OpNor, 4, 3},
+}
+
+// RandomLogic generates a deterministic pseudo-random mapped circuit with
+// exactly the given number of primary inputs and gates.  The circuit is a
+// layered DAG: gates are organized into levels of roughly equal width and
+// draw their fan-ins mostly from the immediately preceding level (with some
+// 2-3-level and rare long-range edges for reconvergence).  This mimics a
+// timing-optimized synthesized netlist: most primary-input-to-output paths
+// have nearly the same depth, so the delay-penalty constraint bites the way
+// it does on the paper's industrially synthesized circuits.  Undriven
+// gate outputs become primary outputs.
+func RandomLogic(name string, seed int64, inputs, gates int) (*netlist.Circuit, error) {
+	if inputs < 4 || gates < 4 {
+		return nil, fmt.Errorf("gen: RandomLogic needs >=4 inputs and gates, got %d/%d", inputs, gates)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &netlist.Circuit{Name: name}
+	for i := 0; i < inputs; i++ {
+		c.Inputs = append(c.Inputs, fmt.Sprintf("i%d", i))
+	}
+	totalWeight := 0
+	for _, o := range mappedOps {
+		totalWeight += o.weight
+	}
+	// Depth grows slowly with size, in the ISCAS range (~15-45 levels).
+	depth := 12 + gates/60
+	if depth > 45 {
+		depth = 45
+	}
+	width := (gates + depth - 1) / depth
+	// levels[0] holds the primary inputs; each later level its gates.
+	levels := [][]string{append([]string(nil), c.Inputs...)}
+	hasFanout := map[string]bool{}
+	gi := 0
+	for gi < gates {
+		lv := len(levels)
+		n := width
+		if gates-gi < n {
+			n = gates - gi
+		}
+		var cur []string
+		for k := 0; k < n; k++ {
+			w := rng.Intn(totalWeight)
+			var op netlist.Op
+			fanin := 0
+			for _, o := range mappedOps {
+				if w < o.weight {
+					op, fanin = o.op, o.fanin
+					break
+				}
+				w -= o.weight
+			}
+			picked := map[string]bool{}
+			var fan []string
+			for len(fan) < fanin {
+				var src string
+				switch {
+				case gi < inputs && len(fan) == 0:
+					src = c.Inputs[gi] // guarantee every PI is read
+				case len(fan) == 0:
+					// The first fan-in comes from the previous level,
+					// keeping every gate near the layer frontier.
+					prev := levels[lv-1]
+					src = prev[rng.Intn(len(prev))]
+				default:
+					// Remaining fan-ins: mostly 1-3 levels back,
+					// occasionally anywhere (reconvergence).
+					back := 1 + rng.Intn(3)
+					if rng.Intn(12) == 0 {
+						back = 1 + rng.Intn(lv)
+					}
+					if back > lv {
+						back = lv
+					}
+					src0 := levels[lv-back]
+					src = src0[rng.Intn(len(src0))]
+				}
+				if picked[src] {
+					continue
+				}
+				picked[src] = true
+				fan = append(fan, src)
+			}
+			out := fmt.Sprintf("n%d", gi)
+			c.Gates = append(c.Gates, netlist.Gate{Name: out, Op: op, Fanin: fan})
+			cur = append(cur, out)
+			for _, f := range fan {
+				hasFanout[f] = true
+			}
+			gi++
+		}
+		levels = append(levels, cur)
+	}
+	// Dangling gate outputs become primary outputs.
+	for i := range c.Gates {
+		if !hasFanout[c.Gates[i].Name] {
+			c.Outputs = append(c.Outputs, c.Gates[i].Name)
+		}
+	}
+	if len(c.Outputs) == 0 {
+		c.Outputs = []string{c.Gates[len(c.Gates)-1].Name}
+	}
+	if _, err := c.Compile(); err != nil {
+		return nil, fmt.Errorf("gen: %s: %w", name, err)
+	}
+	return c, nil
+}
+
+// mapCircuit runs a generic-op circuit through the technology mapper.
+func mapCircuit(c *netlist.Circuit, err error) (*netlist.Circuit, error) {
+	if err != nil {
+		return nil, err
+	}
+	return techmap.Map(c)
+}

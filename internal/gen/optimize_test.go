@@ -1,0 +1,87 @@
+package gen
+
+// Integration of the techmap peephole optimizer with the generators (lives
+// here rather than in techmap to avoid an import cycle: gen -> techmap).
+
+import (
+	"testing"
+
+	"svto/internal/netlist"
+	"svto/internal/sim"
+	"svto/internal/techmap"
+)
+
+// optimizedEquivalent optimizes and verifies functional equivalence on
+// random vectors.
+func optimizedEquivalent(t *testing.T, c *netlist.Circuit) *netlist.Circuit {
+	t.Helper()
+	o, err := techmap.Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := o.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vec := range sim.RandomVectors(13, len(c.Inputs), 200) {
+		va, err := sim.Eval(ca, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vo, err := sim.Eval(co, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, po := range c.Outputs {
+			if va[ca.NetID[po]] != vo[co.NetID[po]] {
+				t.Fatalf("%s: optimize changed function at output %s", c.Name, po)
+			}
+		}
+	}
+	return o
+}
+
+func TestOptimizeComparator(t *testing.T) {
+	// The comparator's AND-OR chain is full of AOI/OAI fusion seeds.
+	c, err := Comparator("cmp8", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := optimizedEquivalent(t, c)
+	st, err := o.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ByOp["AOI21"]+st.ByOp["OAI21"]+st.ByOp["AOI22"]+st.ByOp["OAI22"] == 0 {
+		t.Errorf("no complex cells inferred: %v", st.ByOp)
+	}
+	if len(o.Gates) >= len(c.Gates) {
+		t.Errorf("no reduction: %d -> %d", len(c.Gates), len(o.Gates))
+	}
+	t.Logf("comparator: %d -> %d gates (%v)", len(c.Gates), len(o.Gates), st.ByOp)
+}
+
+func TestOptimizeIdempotentOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"c432", "c499"} {
+		prof, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := prof.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		o := optimizedEquivalent(t, c)
+		o2, err := techmap.Optimize(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(o2.Gates) != len(o.Gates) {
+			t.Errorf("%s: optimize not idempotent: %d vs %d", name, len(o.Gates), len(o2.Gates))
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package gen
+
+import (
+	"testing"
+
+	"svto/internal/sim"
+)
+
+func TestKoggeStoneCorrect(t *testing.T) {
+	const bits = 5
+	c, err := KoggeStoneAdder("ks5", bits)
+	cc := compile(t, c, err)
+	for a := 0; a < 1<<bits; a += 1 {
+		for b := 0; b < 1<<bits; b += 3 {
+			for cin := 0; cin < 2; cin++ {
+				pi := make([]bool, 2*bits+1)
+				for i := 0; i < bits; i++ {
+					pi[i] = a>>i&1 == 1
+					pi[bits+i] = b>>i&1 == 1
+				}
+				pi[2*bits] = cin == 1
+				vals, err := sim.Eval(cc, pi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := 0
+				for i, po := range cc.PO {
+					if vals[po] {
+						got |= 1 << i
+					}
+				}
+				if want := a + b + cin; got != want {
+					t.Fatalf("%d+%d+%d = %d, want %d", a, b, cin, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKoggeStoneShallowerThanRipple(t *testing.T) {
+	ks, err := KoggeStoneAdder("ks16", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RippleAdder("rp16", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ksStats, err := ks.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpStats, err := rp.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ksStats.Depth >= rpStats.Depth {
+		t.Errorf("Kogge-Stone depth %d should beat ripple depth %d", ksStats.Depth, rpStats.Depth)
+	}
+}
+
+func TestDecoderCorrect(t *testing.T) {
+	const selBits = 3
+	c, err := Decoder("dec3", selBits)
+	cc := compile(t, c, err)
+	for v := 0; v < 1<<selBits; v++ {
+		for en := 0; en < 2; en++ {
+			pi := make([]bool, selBits+1)
+			for i := 0; i < selBits; i++ {
+				pi[i] = v>>i&1 == 1
+			}
+			pi[selBits] = en == 1
+			vals, err := sim.Eval(cc, pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for o, po := range cc.PO {
+				want := en == 1 && o == v
+				if vals[po] != want {
+					t.Fatalf("decoder out %d for sel %d en %d = %v", o, v, en, vals[po])
+				}
+			}
+		}
+	}
+}
+
+func TestMuxTreeCorrect(t *testing.T) {
+	const selBits = 3
+	c, err := MuxTree("mux3", selBits)
+	cc := compile(t, c, err)
+	n := 1 << selBits
+	for _, vec := range sim.RandomVectors(9, n+selBits, 64) {
+		vals, err := sim.Eval(cc, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sel := 0
+		for i := 0; i < selBits; i++ {
+			if vec[n+i] {
+				sel |= 1 << i
+			}
+		}
+		if got := vals[cc.PO[0]]; got != vec[sel] {
+			t.Fatalf("mux(sel=%d) = %v, want %v", sel, got, vec[sel])
+		}
+	}
+}
+
+func TestComparatorCorrect(t *testing.T) {
+	const bits = 4
+	c, err := Comparator("cmp4", bits)
+	cc := compile(t, c, err)
+	for a := 0; a < 1<<bits; a++ {
+		for b := 0; b < 1<<bits; b++ {
+			pi := make([]bool, 2*bits)
+			for i := 0; i < bits; i++ {
+				pi[i] = a>>i&1 == 1
+				pi[bits+i] = b>>i&1 == 1
+			}
+			vals, err := sim.Eval(cc, pi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gt := vals[cc.NetID["gt"]]
+			eq := vals[cc.NetID["eq"]]
+			if gt != (a > b) || eq != (a == b) {
+				t.Fatalf("cmp(%d,%d) = gt:%v eq:%v", a, b, gt, eq)
+			}
+		}
+	}
+}
+
+func TestExtrasBuild(t *testing.T) {
+	for _, p := range Extras() {
+		c, err := p.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		if !c.Mapped() {
+			t.Errorf("%s: not mapped", p.Name)
+		}
+		st, err := c.Stats()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Inputs != p.PaperInputs {
+			t.Errorf("%s: %d inputs, want %d", p.Name, st.Inputs, p.PaperInputs)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package liberty
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the liberty parser never panics and that every accepted
+// group tree survives a write/re-parse round trip at the structural level.
+func FuzzParse(f *testing.F) {
+	f.Add(`library (x) { }`)
+	f.Add(`library (x) { a : 1; cell (y) { pin (A) { direction : input; } } }`)
+	f.Add(`library (x) { t (n) { index_1 ("1, 2"); values ("1, 2", "3, 4"); } }`)
+	f.Add(`library (x) { /* c */ a : "s"; }`)
+	f.Add(`library (x) {`)
+	f.Add(`library () { }`)
+	f.Fuzz(func(t *testing.T, src string) {
+		g, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			t.Fatalf("accepted tree failed to serialize: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("serialized tree failed to re-parse: %v\n%s", err, buf.String())
+		}
+		if len(back.Groups) != len(g.Groups) || len(back.Attrs) != len(g.Attrs) {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

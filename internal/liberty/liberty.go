@@ -1,0 +1,130 @@
+// Package liberty reads and writes a practical subset of the Liberty
+// (.lib) library format, the industry interchange format for exactly the
+// kind of multi-version standby library this system constructs.  The writer
+// exports every generated cell version with its per-state leakage
+// (leakage_power groups with when-conditions), pin capacitances, logic
+// function and NLDM delay/slew tables; the parser reads that subset back,
+// enabling round-trip tests and interoperability with external flows.
+//
+// The format is a nested group structure:
+//
+//	library (name) {
+//	  attr : value;
+//	  cell (NAND2_v1) {
+//	    leakage_power () { when : "A & !B"; value : 13.7; }
+//	    pin (A) { direction : input; capacitance : 4.0; }
+//	    pin (Y) {
+//	      function : "!(A & B)";
+//	      timing () { related_pin : "A"; cell_rise (tmpl) { ... } }
+//	    }
+//	  }
+//	}
+package liberty
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Group is one liberty group: a type, an optional argument, simple and
+// complex attributes, and nested groups.
+type Group struct {
+	Type string
+	Name string
+	// Attrs holds simple attributes ("direction" -> "input").  String
+	// values keep their quotes stripped.
+	Attrs map[string]string
+	// Complex holds complex attributes ("index_1" -> ["1, 2, 3"]).
+	Complex map[string][]string
+	Groups  []*Group
+}
+
+// NewGroup allocates an empty group.
+func NewGroup(typ, name string) *Group {
+	return &Group{
+		Type:    typ,
+		Name:    name,
+		Attrs:   map[string]string{},
+		Complex: map[string][]string{},
+	}
+}
+
+// Sub returns the first nested group of the given type (and name, when
+// non-empty), or nil.
+func (g *Group) Sub(typ, name string) *Group {
+	for _, s := range g.Groups {
+		if s.Type == typ && (name == "" || s.Name == name) {
+			return s
+		}
+	}
+	return nil
+}
+
+// Subs returns all nested groups of the given type.
+func (g *Group) Subs(typ string) []*Group {
+	var out []*Group
+	for _, s := range g.Groups {
+		if s.Type == typ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Float returns a simple attribute parsed as float.
+func (g *Group) Float(attr string) (float64, error) {
+	v, ok := g.Attrs[attr]
+	if !ok {
+		return 0, fmt.Errorf("liberty: group %s(%s): missing attribute %q", g.Type, g.Name, attr)
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v), 64)
+	if err != nil {
+		return 0, fmt.Errorf("liberty: group %s(%s): attribute %q: %w", g.Type, g.Name, attr, err)
+	}
+	return f, nil
+}
+
+// FloatList parses a complex attribute value like "1, 2, 3" (possibly
+// split across several quoted rows) into floats.
+func (g *Group) FloatList(attr string) ([]float64, error) {
+	rows, ok := g.Complex[attr]
+	if !ok {
+		return nil, fmt.Errorf("liberty: group %s(%s): missing complex attribute %q", g.Type, g.Name, attr)
+	}
+	var out []float64
+	for _, row := range rows {
+		for _, tok := range strings.Split(row, ",") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			f, err := strconv.ParseFloat(tok, 64)
+			if err != nil {
+				return nil, fmt.Errorf("liberty: group %s(%s): %q: %w", g.Type, g.Name, attr, err)
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+// sortedAttrKeys gives deterministic attribute order.
+func sortedAttrKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedComplexKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,226 @@
+package liberty
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"svto/internal/library"
+	"svto/internal/tech"
+)
+
+func exportDefault(t *testing.T) (*library.Library, *Group) {
+	t.Helper()
+	lib, err := library.Cached(tech.Default(), library.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lib, Export(lib)
+}
+
+func TestExportStructure(t *testing.T) {
+	lib, root := exportDefault(t)
+	if root.Type != "library" || !strings.HasPrefix(root.Name, "svto_") {
+		t.Fatalf("unexpected root: %s(%s)", root.Type, root.Name)
+	}
+	cells := root.Subs("cell")
+	want := lib.TotalVersions() + len(lib.Names) // + slow version per cell
+	if len(cells) != want {
+		t.Errorf("exported %d cells, want %d", len(cells), want)
+	}
+	// Spot-check NAND2_v0.
+	c := root.Sub("cell", "NAND2_v0")
+	if c == nil {
+		t.Fatal("NAND2_v0 missing")
+	}
+	if len(c.Subs("leakage_power")) != 4 {
+		t.Errorf("NAND2_v0 should have 4 leakage_power groups")
+	}
+	outPin := c.Sub("pin", "Y")
+	if outPin == nil {
+		t.Fatal("output pin missing")
+	}
+	if fn := outPin.Attrs["function"]; fn != `"!(A & B)"` {
+		t.Errorf("NAND2 function = %s", fn)
+	}
+	if len(outPin.Subs("timing")) != 2 {
+		t.Errorf("NAND2 should have 2 timing arcs")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib, root := exportDefault(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, root); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Subs("cell")) != len(root.Subs("cell")) {
+		t.Fatalf("cell count changed: %d -> %d", len(root.Subs("cell")), len(back.Subs("cell")))
+	}
+
+	// NAND2 version leakage survives the round trip, matched by
+	// when-condition.
+	nand2 := lib.Cell("NAND2")
+	ml := nand2.MinLeakChoice(3) // state 11
+	cg := back.Sub("cell", ml.Version.Name)
+	if cg == nil {
+		t.Fatalf("cell %s missing after round trip", ml.Version.Name)
+	}
+	found := false
+	for _, lp := range cg.Subs("leakage_power") {
+		if lp.Attrs["when"] == "A & B" {
+			v, err := lp.Float("value")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(v-ml.Leak) > 1e-3 {
+				t.Errorf("state-11 leakage %.4f != %.4f", v, ml.Leak)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("when-condition 'A & B' not found")
+	}
+
+	// Delay tables survive: compare cell_rise of pin A.
+	orig := ml.Version.Timing[0].Rise.Delay
+	var timing *Group
+	for _, tg := range cg.Sub("pin", "Y").Subs("timing") {
+		if tg.Attrs["related_pin"] == "A" {
+			timing = tg
+		}
+	}
+	if timing == nil {
+		t.Fatal("timing arc for pin A missing")
+	}
+	rise := timing.Sub("cell_rise", "")
+	if rise == nil {
+		t.Fatal("cell_rise missing")
+	}
+	x, err := rise.FloatList("index_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rise.FloatList("values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != len(orig.X) {
+		t.Fatalf("index_1 length %d != %d", len(x), len(orig.X))
+	}
+	if len(vals) != len(orig.X)*len(orig.Y) {
+		t.Fatalf("values length %d != %d", len(vals), len(orig.X)*len(orig.Y))
+	}
+	for i := range orig.X {
+		for j := range orig.Y {
+			want := orig.V[i][j]
+			got := vals[i*len(orig.Y)+j]
+			if math.Abs(got-want) > math.Abs(want)*1e-4+1e-6 {
+				t.Fatalf("table value [%d][%d] %.6f != %.6f", i, j, got, want)
+			}
+		}
+	}
+
+	// Pin capacitance survives.
+	pa := cg.Sub("pin", "A")
+	if pa == nil {
+		t.Fatal("pin A missing")
+	}
+	cap, err := pa.Float("capacitance")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cap-ml.Version.PinCap[0]) > 1e-4 {
+		t.Errorf("pin cap %.4f != %.4f", cap, ml.Version.PinCap[0])
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	src := `/* block comment */
+library (demo) { // trailing comment
+  time_unit : "1ps";
+  cell (X1) {
+    area : 2;
+    pin (A) { direction : input; capacitance : 3.5; }
+    pin (Y) {
+      direction : output;
+      function : "!A";
+      timing () {
+        related_pin : "A";
+        cell_rise (t) {
+          index_1 ("1, 2");
+          index_2 ("1, 2");
+          values ( \
+            "1, 2", \
+            "3, 4" \
+          );
+        }
+      }
+    }
+  }
+}
+`
+	g, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellG := g.Sub("cell", "X1")
+	if cellG == nil {
+		t.Fatal("cell X1 missing")
+	}
+	if a, err := cellG.Float("area"); err != nil || a != 2 {
+		t.Errorf("area = %v, %v", a, err)
+	}
+	rise := cellG.Sub("pin", "Y").Sub("timing", "").Sub("cell_rise", "")
+	vals, err := rise.FloatList("values")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 4 || vals[3] != 4 {
+		t.Errorf("values = %v", vals)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`library demo {}`,
+		`library (demo) {`,
+		`library (demo) { cell (X) { area 2; } }`,
+		`library (demo) { time_unit : "1ps" }`,
+		`library (demo) {} trailing`,
+		`library (demo) { values ("1, 2") }`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("bad source %d accepted", i)
+		}
+	}
+}
+
+func TestGroupHelpers(t *testing.T) {
+	g := NewGroup("library", "x")
+	if g.Sub("cell", "") != nil {
+		t.Error("Sub on empty group should be nil")
+	}
+	if _, err := g.Float("missing"); err == nil {
+		t.Error("Float on missing attribute should error")
+	}
+	if _, err := g.FloatList("missing"); err == nil {
+		t.Error("FloatList on missing attribute should error")
+	}
+	g.Attrs["bad"] = "not-a-number"
+	if _, err := g.Float("bad"); err == nil {
+		t.Error("Float should reject non-numeric")
+	}
+	g.Complex["bad"] = []string{"1, x"}
+	if _, err := g.FloatList("bad"); err == nil {
+		t.Error("FloatList should reject non-numeric")
+	}
+}

@@ -1,0 +1,275 @@
+package liberty
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a liberty group tree (the subset Export emits plus the usual
+// formatting freedoms: comments, line continuations, multi-line complex
+// attributes).
+func Parse(r io.Reader) (*Group, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, line: 1}
+	p.skipSpace()
+	g, err := p.parseGroup()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if !p.eof() {
+		return nil, p.errorf("trailing content after library group")
+	}
+	return g, nil
+}
+
+type parser struct {
+	src  []byte
+	pos  int
+	line int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("liberty:%d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+// skipSpace consumes whitespace, line continuations and comments.
+func (p *parser) skipSpace() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			p.advance()
+		case c == '\\':
+			// Line continuation: backslash followed by newline.
+			if p.pos+1 < len(p.src) && (p.src[p.pos+1] == '\n' || p.src[p.pos+1] == '\r') {
+				p.advance()
+			} else {
+				return
+			}
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '*':
+			for !p.eof() && !(p.peek() == '*' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/') {
+				p.advance()
+			}
+			if !p.eof() {
+				p.advance()
+				p.advance()
+			}
+		case c == '/' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '/':
+			for !p.eof() && p.peek() != '\n' {
+				p.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-' || c == '+'
+}
+
+func (p *parser) ident() (string, error) {
+	start := p.pos
+	for !p.eof() && isIdentChar(p.peek()) {
+		p.advance()
+	}
+	if p.pos == start {
+		return "", p.errorf("expected identifier, found %q", string(p.peek()))
+	}
+	return string(p.src[start:p.pos]), nil
+}
+
+func (p *parser) expect(c byte) error {
+	if p.eof() || p.peek() != c {
+		return p.errorf("expected %q, found %q", string(c), string(p.peek()))
+	}
+	p.advance()
+	return nil
+}
+
+// quoted reads a double-quoted string (quotes stripped, continuations
+// inside removed).
+func (p *parser) quoted() (string, error) {
+	if err := p.expect('"'); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for !p.eof() && p.peek() != '"' {
+		c := p.advance()
+		if c == '\\' && !p.eof() && (p.peek() == '\n' || p.peek() == '\r') {
+			continue
+		}
+		b.WriteByte(c)
+	}
+	if err := p.expect('"'); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// parseGroup parses IDENT '(' arg ')' '{' statements '}'.
+func (p *parser) parseGroup() (*Group, error) {
+	typ, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	name := ""
+	if p.peek() != ')' {
+		if name, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	p.skipSpace()
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	g := NewGroup(typ, name)
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errorf("unterminated group %s(%s)", typ, name)
+		}
+		if p.peek() == '}' {
+			p.advance()
+			return g, nil
+		}
+		if err := p.parseStatement(g); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// parseStatement parses one of: simple attribute, complex attribute, or a
+// nested group.
+func (p *parser) parseStatement(g *Group) error {
+	key, err := p.ident()
+	if err != nil {
+		return err
+	}
+	p.skipSpace()
+	switch p.peek() {
+	case ':':
+		p.advance()
+		val, err := p.attrValue()
+		if err != nil {
+			return err
+		}
+		g.Attrs[key] = val
+		return nil
+	case '(':
+		p.advance()
+		var rows []string
+		var arg string
+		for {
+			p.skipSpace()
+			c := p.peek()
+			switch {
+			case c == ')':
+				p.advance()
+				p.skipSpace()
+				switch p.peek() {
+				case ';':
+					p.advance()
+					g.Complex[key] = rows
+					return nil
+				case '{':
+					// Re-parse as group body.
+					p.advance()
+					sub := NewGroup(key, arg)
+					for {
+						p.skipSpace()
+						if p.eof() {
+							return p.errorf("unterminated group %s(%s)", key, arg)
+						}
+						if p.peek() == '}' {
+							p.advance()
+							g.Groups = append(g.Groups, sub)
+							return nil
+						}
+						if err := p.parseStatement(sub); err != nil {
+							return err
+						}
+					}
+				default:
+					return p.errorf("expected ';' or '{' after %s(...)", key)
+				}
+			case c == '"':
+				row, err := p.quoted()
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row)
+				if arg == "" {
+					arg = row
+				}
+			case c == ',':
+				p.advance()
+			case c == 0:
+				return p.errorf("unterminated argument list for %s", key)
+			default:
+				tok, err := p.ident()
+				if err != nil {
+					return err
+				}
+				rows = append(rows, tok)
+				if arg == "" {
+					arg = tok
+				}
+			}
+		}
+	default:
+		return p.errorf("expected ':' or '(' after %q", key)
+	}
+}
+
+// attrValue reads a simple attribute value up to ';', stripping outer
+// quotes.
+func (p *parser) attrValue() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for !p.eof() && p.peek() != ';' && p.peek() != '\n' {
+		p.advance()
+	}
+	if p.eof() || p.peek() != ';' {
+		return "", p.errorf("attribute value not terminated with ';'")
+	}
+	raw := strings.TrimSpace(string(p.src[start:p.pos]))
+	p.advance() // ';'
+	if len(raw) >= 2 && raw[0] == '"' && raw[len(raw)-1] == '"' {
+		raw = raw[1 : len(raw)-1]
+	}
+	return raw, nil
+}

@@ -1,0 +1,173 @@
+package liberty
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"svto/internal/cell"
+	"svto/internal/library"
+)
+
+// Export converts a constructed standby library into a liberty group tree.
+// Each physical version becomes one liberty cell; per-state leakage becomes
+// leakage_power groups with when-conditions over the input pins; timing
+// arcs become NLDM cell_rise/cell_fall (+ transitions) tables.
+func Export(lib *library.Library) *Group {
+	root := NewGroup("library", "svto_"+lib.Tech.Name)
+	root.Attrs["time_unit"] = `"1ps"`
+	root.Attrs["capacitive_load_unit"] = "(1, ff)"
+	root.Attrs["leakage_power_unit"] = `"1nW"` // numerically nA at 1V
+	root.Attrs["nom_voltage"] = fmt.Sprintf("%g", lib.Tech.Vdd)
+	root.Attrs["default_max_transition"] = "200"
+
+	for _, name := range lib.Names {
+		c := lib.Cell(name)
+		for _, v := range c.Versions {
+			root.Groups = append(root.Groups, exportCell(c, v))
+		}
+		slow := exportCell(c, c.Slow)
+		root.Groups = append(root.Groups, slow)
+	}
+	return root
+}
+
+func exportCell(c *library.Cell, v *library.Version) *Group {
+	tpl := c.Template
+	g := NewGroup("cell", v.Name)
+	g.Attrs["area"] = fmt.Sprintf("%g", float64(tpl.NumDevices()))
+
+	// Per-state leakage with when-conditions.
+	for s := 0; s < tpl.NumStates(); s++ {
+		lp := NewGroup("leakage_power", "")
+		lp.Attrs["when"] = `"` + whenCondition(tpl, uint(s)) + `"`
+		lp.Attrs["value"] = fmt.Sprintf("%.6g", v.Leak[s])
+		g.Groups = append(g.Groups, lp)
+	}
+	avg := 0.0
+	for _, l := range v.Leak {
+		avg += l
+	}
+	g.Attrs["cell_leakage_power"] = fmt.Sprintf("%.6g", avg/float64(len(v.Leak)))
+
+	for pin := 0; pin < tpl.NumInputs; pin++ {
+		pg := NewGroup("pin", tpl.PinNames[pin])
+		pg.Attrs["direction"] = "input"
+		pg.Attrs["capacitance"] = fmt.Sprintf("%.6g", v.PinCap[pin])
+		g.Groups = append(g.Groups, pg)
+	}
+
+	out := NewGroup("pin", "Y")
+	out.Attrs["direction"] = "output"
+	out.Attrs["function"] = `"` + functionOf(tpl) + `"`
+	for pin := 0; pin < tpl.NumInputs; pin++ {
+		tg := NewGroup("timing", "")
+		tg.Attrs["related_pin"] = `"` + tpl.PinNames[pin] + `"`
+		tg.Attrs["timing_sense"] = "negative_unate"
+		tg.Groups = append(tg.Groups,
+			exportTable("cell_rise", v.Timing[pin].Rise.Delay),
+			exportTable("rise_transition", v.Timing[pin].Rise.Slew),
+			exportTable("cell_fall", v.Timing[pin].Fall.Delay),
+			exportTable("fall_transition", v.Timing[pin].Fall.Slew),
+		)
+		out.Groups = append(out.Groups, tg)
+	}
+	g.Groups = append(g.Groups, out)
+	return g
+}
+
+// whenCondition renders an input state as a liberty boolean condition.
+func whenCondition(tpl *cell.Template, state uint) string {
+	terms := make([]string, tpl.NumInputs)
+	for pin := 0; pin < tpl.NumInputs; pin++ {
+		if state>>uint(pin)&1 == 1 {
+			terms[pin] = tpl.PinNames[pin]
+		} else {
+			terms[pin] = "!" + tpl.PinNames[pin]
+		}
+	}
+	return strings.Join(terms, " & ")
+}
+
+// functionOf renders the cell's logic function in liberty syntax.
+func functionOf(tpl *cell.Template) string {
+	pins := tpl.PinNames
+	switch {
+	case tpl.Name == "INV":
+		return "!" + pins[0]
+	case strings.HasPrefix(tpl.Name, "NAND"):
+		return "!(" + strings.Join(pins, " & ") + ")"
+	case strings.HasPrefix(tpl.Name, "NOR"):
+		return "!(" + strings.Join(pins, " + ") + ")"
+	case tpl.Name == "AOI21":
+		return fmt.Sprintf("!((%s & %s) + %s)", pins[0], pins[1], pins[2])
+	case tpl.Name == "OAI21":
+		return fmt.Sprintf("!((%s + %s) & %s)", pins[0], pins[1], pins[2])
+	default:
+		// Fall back to a sum-of-products over the truth table.
+		var minterms []string
+		for s := uint(0); s < uint(tpl.NumStates()); s++ {
+			if tpl.Eval(s) {
+				minterms = append(minterms, "("+whenCondition(tpl, s)+")")
+			}
+		}
+		return strings.Join(minterms, " + ")
+	}
+}
+
+func exportTable(kind string, t *cell.Table2D) *Group {
+	g := NewGroup(kind, fmt.Sprintf("tmpl_%dx%d", len(t.X), len(t.Y)))
+	g.Complex["index_1"] = []string{floatRow(t.X)}
+	g.Complex["index_2"] = []string{floatRow(t.Y)}
+	rows := make([]string, len(t.V))
+	for i, row := range t.V {
+		rows[i] = floatRow(row)
+	}
+	g.Complex["values"] = rows
+	return g
+}
+
+func floatRow(vals []float64) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = fmt.Sprintf("%.6g", v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Write serializes a group tree in liberty syntax.
+func Write(w io.Writer, g *Group) error {
+	bw := bufio.NewWriter(w)
+	writeGroup(bw, g, 0)
+	return bw.Flush()
+}
+
+func writeGroup(w *bufio.Writer, g *Group, depth int) {
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(w, "%s%s (%s) {\n", indent, g.Type, g.Name)
+	inner := indent + "  "
+	for _, k := range sortedAttrKeys(g.Attrs) {
+		fmt.Fprintf(w, "%s%s : %s;\n", inner, k, g.Attrs[k])
+	}
+	for _, k := range sortedComplexKeys(g.Complex) {
+		rows := g.Complex[k]
+		if len(rows) == 1 {
+			fmt.Fprintf(w, "%s%s (\"%s\");\n", inner, k, rows[0])
+			continue
+		}
+		fmt.Fprintf(w, "%s%s ( \\\n", inner, k)
+		for i, row := range rows {
+			sep := ", \\"
+			if i == len(rows)-1 {
+				sep = " \\"
+			}
+			fmt.Fprintf(w, "%s  \"%s\"%s\n", inner, row, sep)
+		}
+		fmt.Fprintf(w, "%s);\n", inner)
+	}
+	for _, s := range g.Groups {
+		writeGroup(w, s, depth+1)
+	}
+	fmt.Fprintf(w, "%s}\n", indent)
+}

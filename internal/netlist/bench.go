@@ -1,0 +1,146 @@
+package netlist
+
+// ISCAS-85 ".bench" format support, hand-rolled (no EDA ecosystem in Go):
+//
+//	# comment
+//	INPUT(G1)
+//	OUTPUT(G17)
+//	G10 = NAND(G1, G3)
+//	G17 = NOT(G10)
+//
+// The reader accepts the original ISCAS-85 files so genuine benchmark
+// netlists can be dropped in when available; the writer emits the generated
+// substitutes in the same format (including the AOI21/OAI21 extension ops).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ReadBench parses a .bench netlist.
+func ReadBench(r io.Reader, name string) (*Circuit, error) {
+	c := &Circuit{Name: name}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT(") || strings.HasPrefix(strings.ToUpper(line), "INPUT ("):
+			net, err := parseDecl(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %w", name, lineNo, err)
+			}
+			c.Inputs = append(c.Inputs, net)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT(") || strings.HasPrefix(strings.ToUpper(line), "OUTPUT ("):
+			net, err := parseDecl(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %w", name, lineNo, err)
+			}
+			c.Outputs = append(c.Outputs, net)
+		default:
+			g, err := parseGate(line)
+			if err != nil {
+				return nil, fmt.Errorf("bench %s:%d: %w", name, lineNo, err)
+			}
+			c.Gates = append(c.Gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", name, err)
+	}
+	if _, err := c.Compile(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// parseDecl extracts the net name from "INPUT(x)" / "OUTPUT(x)".
+func parseDecl(line string) (string, error) {
+	open := strings.IndexByte(line, '(')
+	close := strings.LastIndexByte(line, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", line)
+	}
+	net := strings.TrimSpace(line[open+1 : close])
+	if net == "" {
+		return "", fmt.Errorf("empty net in %q", line)
+	}
+	return net, nil
+}
+
+// parseGate parses "name = OP(a, b, ...)".
+func parseGate(line string) (Gate, error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return Gate{}, fmt.Errorf("malformed gate line %q", line)
+	}
+	out := strings.TrimSpace(line[:eq])
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	close := strings.LastIndexByte(rhs, ')')
+	if out == "" || open <= 0 || close < open {
+		return Gate{}, fmt.Errorf("malformed gate line %q", line)
+	}
+	opName := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	op, err := ParseOp(opName)
+	if err != nil {
+		return Gate{}, err
+	}
+	var fanin []string
+	for _, part := range strings.Split(rhs[open+1:close], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Gate{}, fmt.Errorf("empty fanin in %q", line)
+		}
+		fanin = append(fanin, part)
+	}
+	return Gate{Name: out, Op: op, Fanin: fanin}, nil
+}
+
+// WriteBench emits the circuit in .bench format.  Gates are written in the
+// order they appear in the circuit.
+func WriteBench(w io.Writer, c *Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Name)
+	fmt.Fprintf(bw, "# %d inputs, %d outputs, %d gates\n\n", len(c.Inputs), len(c.Outputs), len(c.Gates))
+	for _, in := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", in)
+	}
+	fmt.Fprintln(bw)
+	for _, out := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", out)
+	}
+	fmt.Fprintln(bw)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		fmt.Fprintf(bw, "%s = %s(%s)\n", g.Name, g.Op, strings.Join(g.Fanin, ", "))
+	}
+	return bw.Flush()
+}
+
+// String renders a compact one-line summary.
+func (c *Circuit) String() string {
+	ops := map[string]int{}
+	for i := range c.Gates {
+		ops[c.Gates[i].Op.String()]++
+	}
+	keys := make([]string, 0, len(ops))
+	for k := range ops {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s:%d", k, ops[k]))
+	}
+	return fmt.Sprintf("%s{in:%d out:%d gates:%d %s}",
+		c.Name, len(c.Inputs), len(c.Outputs), len(c.Gates), strings.Join(parts, " "))
+}

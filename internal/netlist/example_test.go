@@ -1,0 +1,69 @@
+package netlist_test
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"svto/internal/netlist"
+)
+
+// ExampleReadBench parses a small ISCAS-85 style netlist and prints its
+// statistics.
+func ExampleReadBench() {
+	src := `# half adder
+INPUT(a)
+INPUT(b)
+OUTPUT(s)
+OUTPUT(c)
+n1 = NAND(a, b)
+n2 = NAND(a, n1)
+n3 = NAND(b, n1)
+s = NAND(n2, n3)
+c = NOT(n1)
+`
+	circ, err := netlist.ReadBench(strings.NewReader(src), "half_adder")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st, _ := circ.Stats()
+	fmt.Printf("%d inputs, %d outputs, %d gates, depth %d\n",
+		st.Inputs, st.Outputs, st.Gates, st.Depth)
+	fmt.Println("mapped:", circ.Mapped())
+	// Output:
+	// 2 inputs, 2 outputs, 5 gates, depth 3
+	// mapped: true
+}
+
+// ExampleWriteBench builds a circuit programmatically and serializes it.
+func ExampleWriteBench() {
+	circ := &netlist.Circuit{
+		Name:    "mux",
+		Inputs:  []string{"a", "b", "s"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			{Name: "ns", Op: netlist.OpNot, Fanin: []string{"s"}},
+			{Name: "t1", Op: netlist.OpNand, Fanin: []string{"a", "ns"}},
+			{Name: "t2", Op: netlist.OpNand, Fanin: []string{"b", "s"}},
+			{Name: "y", Op: netlist.OpNand, Fanin: []string{"t1", "t2"}},
+		},
+	}
+	if err := netlist.WriteBench(os.Stdout, circ); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// # mux
+	// # 3 inputs, 1 outputs, 4 gates
+	//
+	// INPUT(a)
+	// INPUT(b)
+	// INPUT(s)
+	//
+	// OUTPUT(y)
+	//
+	// ns = NOT(s)
+	// t1 = NAND(a, ns)
+	// t2 = NAND(b, s)
+	// y = NAND(t1, t2)
+}

@@ -1,0 +1,35 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadBench checks the .bench parser never panics and that every
+// successfully parsed circuit survives a write/re-read round trip.
+func FuzzReadBench(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n")
+	f.Add("# c\nINPUT(1)\nINPUT(2)\nOUTPUT(3)\n3 = NAND(1, 2)\n")
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = AOI21(a, a, a)\n")
+	f.Add("INPUT()\n")
+	f.Add("y = ")
+	f.Add(strings.Repeat("INPUT(x)\n", 4))
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := ReadBench(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBench(&buf, c); err != nil {
+			t.Fatalf("parsed circuit failed to serialize: %v", err)
+		}
+		back, err := ReadBench(&buf, "fuzz")
+		if err != nil {
+			t.Fatalf("serialized circuit failed to re-parse: %v\n%s", err, buf.String())
+		}
+		if len(back.Gates) != len(c.Gates) || len(back.Inputs) != len(c.Inputs) {
+			t.Fatal("round trip changed structure")
+		}
+	})
+}

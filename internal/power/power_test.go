@@ -1,0 +1,124 @@
+package power
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"svto/internal/core"
+	"svto/internal/gen"
+	"svto/internal/library"
+	"svto/internal/sta"
+	"svto/internal/tech"
+)
+
+func solved(t *testing.T) (*core.Problem, *core.Solution) {
+	t.Helper()
+	prof, err := gen.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := prof.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := library.Cached(tech.Default(), library.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(circ, lib, sta.DefaultConfig(), core.ObjTotal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Heuristic1(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sol
+}
+
+func TestAnalyzeTotalsMatchSolution(t *testing.T) {
+	p, sol := solved(t)
+	r, err := Analyze(p, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TotalLeak-sol.Leak) > 1e-6 {
+		t.Errorf("report total %.3f != solution %.3f", r.TotalLeak, sol.Leak)
+	}
+	if math.Abs(r.TotalIsub-sol.Isub) > 1e-6 {
+		t.Errorf("report Isub %.3f != solution %.3f", r.TotalIsub, sol.Isub)
+	}
+	if math.Abs(r.TotalIsub+r.TotalIgate-r.TotalLeak) > 1e-6 {
+		t.Error("components do not sum")
+	}
+	if len(r.Gates) != len(sol.Choices) {
+		t.Errorf("entries %d != gates %d", len(r.Gates), len(sol.Choices))
+	}
+	// Sorted descending.
+	for i := 1; i < len(r.Gates); i++ {
+		if r.Gates[i].Leak > r.Gates[i-1].Leak {
+			t.Fatal("gates not sorted by leakage")
+		}
+	}
+	// ByCell counts sum to the gate count.
+	n := 0
+	for _, s := range r.ByCell {
+		n += s.Count
+	}
+	if n != len(r.Gates) {
+		t.Errorf("ByCell counts sum to %d, want %d", n, len(r.Gates))
+	}
+	nk := 0
+	var leak float64
+	for _, s := range r.ByKind {
+		nk += s.Count
+		leak += s.Leak
+	}
+	if nk != len(r.Gates) || math.Abs(leak-r.TotalLeak) > 1e-6 {
+		t.Error("ByKind aggregation inconsistent")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p, sol := solved(t)
+	r, err := Analyze(p, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := r.Format(5)
+	for _, want := range []string{"standby leakage report", "by cell type", "top 5 leaking gates", "µA"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// topN beyond the gate count is clamped.
+	big := r.Format(1 << 20)
+	if !strings.Contains(big, "top 177 leaking gates") {
+		t.Error("topN clamp failed")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	p, sol := solved(t)
+	r, err := Analyze(p, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(r.Gates)+1 {
+		t.Errorf("CSV rows %d, want %d", len(records), len(r.Gates)+1)
+	}
+	if records[0][0] != "net" || len(records[0]) != 9 {
+		t.Errorf("CSV header wrong: %v", records[0])
+	}
+}

@@ -1,0 +1,92 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+)
+
+func readCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestCSVWriters(t *testing.T) {
+	r := testRunner()
+
+	t1, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Table1CSV(&buf, t1); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readCSV(t, &buf); len(recs) != len(t1)+1 || len(recs[0]) != 7 {
+		t.Errorf("table1 csv shape wrong: %d rows", len(recs))
+	}
+
+	t2, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Table2CSV(&buf, t2); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readCSV(t, &buf); len(recs) != len(t2)+1 {
+		t.Errorf("table2 csv rows = %d", len(recs))
+	}
+
+	t3, err := r.Table3([]string{"c432"}, []float64{0.05, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Table3CSV(&buf, t3); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readCSV(t, &buf); len(recs) != 3 { // header + 2 penalties
+		t.Errorf("table3 csv rows = %d, want 3", len(recs))
+	}
+
+	t4, err := r.Table4([]string{"c432"}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Table4CSV(&buf, t4); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readCSV(t, &buf); len(recs) != 2 || len(recs[0]) != 11 {
+		t.Errorf("table4 csv shape wrong")
+	}
+
+	t5, err := r.Table5([]string{"c432"}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Table5CSV(&buf, t5); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readCSV(t, &buf); len(recs) != 5 { // header + 4 policies
+		t.Errorf("table5 csv rows = %d, want 5", len(recs))
+	}
+
+	pts, err := r.Figure5("c432", []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := Figure5CSV(&buf, "c432", pts); err != nil {
+		t.Fatal(err)
+	}
+	if recs := readCSV(t, &buf); len(recs) != 3 {
+		t.Errorf("figure5 csv rows = %d, want 3", len(recs))
+	}
+}

@@ -1,0 +1,233 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testRunner() *Runner {
+	r := NewRunner()
+	r.Vectors = 500
+	r.Heu2Limit = 100 * time.Millisecond
+	return r
+}
+
+func TestTable1AnchorsPaper(t *testing.T) {
+	r := testRunner()
+	rows, err := r.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper's Table 1 (state 11): 270.4 / 109.1 / 91.4 / 19.5 nA.
+	var got []float64
+	for _, row := range rows {
+		if row.State == "11" {
+			got = append(got, row.LeakNA)
+		}
+	}
+	want := []float64{270.4, 109.1, 91.4, 19.5}
+	if len(got) != len(want) {
+		t.Fatalf("state-11 rows = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i])/want[i] > 0.12 {
+			t.Errorf("state-11 row %d leak = %.1f, paper %.1f", i, got[i], want[i])
+		}
+	}
+	text := FormatTable1(rows)
+	if !strings.Contains(text, "min-leak") || !strings.Contains(text, "11") {
+		t.Error("formatted table 1 missing content")
+	}
+}
+
+func TestTable2MatchesPaperWhereReported(t *testing.T) {
+	r := testRunner()
+	rows, err := r.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Table2Row{}
+	for _, row := range rows {
+		byName[row.Cell] = row
+	}
+	// Exact matches (NOR2 diverges by one known sharing, see DESIGN.md).
+	for _, name := range []string{"INV", "NAND2", "NAND3", "NOR3"} {
+		row := byName[name]
+		if row.FourOpt != row.PaperFour || row.TwoOpt != row.PaperTwo {
+			t.Errorf("%s: %d/%d vs paper %d/%d", name, row.FourOpt, row.TwoOpt, row.PaperFour, row.PaperTwo)
+		}
+	}
+	if nor2 := byName["NOR2"]; nor2.FourOpt < 7 || nor2.FourOpt > 8 || nor2.TwoOpt != 4 {
+		t.Errorf("NOR2 = %d/%d, want 7-8/4", nor2.FourOpt, nor2.TwoOpt)
+	}
+	if !strings.Contains(FormatTable2(rows), "NAND2") {
+		t.Error("formatted table 2 missing NAND2")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	r := testRunner()
+	rows, err := r.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 states, got %d", len(rows))
+	}
+	// Input 1: NMOS gate tunneling dominates the gate component and the
+	// total exceeds input 0 (paper figure 1 discussion).
+	if rows[1].IgateNA <= rows[0].IgateNA {
+		t.Errorf("Igate(1)=%.1f should exceed Igate(0)=%.1f", rows[1].IgateNA, rows[0].IgateNA)
+	}
+	if rows[1].TotalNA <= rows[0].TotalNA {
+		t.Errorf("total(1)=%.1f should exceed total(0)=%.1f", rows[1].TotalNA, rows[0].TotalNA)
+	}
+	for _, row := range rows {
+		if math.Abs(row.TotalNA-(row.IsubNA+row.IgateNA)) > 1e-9 {
+			t.Error("components do not sum to total")
+		}
+	}
+	if !strings.Contains(FormatFigure1(rows), "Isub") {
+		t.Error("formatted figure 1 missing header")
+	}
+}
+
+func TestTable3SmallSubset(t *testing.T) {
+	r := testRunner()
+	penalties := []float64{0.05, 0.25}
+	rows, err := r.Table3([]string{"c432"}, penalties)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Cells) != 2 {
+		t.Fatalf("unexpected shape: %d rows", len(rows))
+	}
+	row := rows[0]
+	if row.AvgUA <= 0 {
+		t.Error("average must be positive")
+	}
+	c5, c25 := row.Cells[0], row.Cells[1]
+	if c5.Heu1X < 1 || c25.Heu1X < c5.Heu1X {
+		t.Errorf("reduction should grow with penalty: %.1f -> %.1f", c5.Heu1X, c25.Heu1X)
+	}
+	if c5.Heu2X+1e-9 < c5.Heu1X {
+		t.Errorf("Heu2 X (%.2f) must be >= Heu1 X (%.2f)", c5.Heu2X, c5.Heu1X)
+	}
+	text := FormatTable3(rows, penalties)
+	if !strings.Contains(text, "c432") || !strings.Contains(text, "AVG") {
+		t.Error("formatted table 3 missing content")
+	}
+}
+
+func TestTable4SmallSubset(t *testing.T) {
+	r := testRunner()
+	rows, err := r.Table4([]string{"c432"}, []float64{0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	if row.Inputs != 36 || row.Gates != 177 {
+		t.Errorf("c432 interface %d/%d, want 36/177", row.Inputs, row.Gates)
+	}
+	// Ordering the paper reports: state-only < Vt+state < proposed.
+	c := row.Cells[0]
+	if !(row.StateOnlyX < c.VtStateX && c.VtStateX < c.Heu1X) {
+		t.Errorf("expected stateOnly < vtState < heu1, got %.2f %.2f %.2f",
+			row.StateOnlyX, c.VtStateX, c.Heu1X)
+	}
+	if !strings.Contains(FormatTable4(rows, []float64{0.05}), "Vt&St") {
+		t.Error("formatted table 4 missing header")
+	}
+}
+
+func TestTable5SmallSubset(t *testing.T) {
+	r := testRunner()
+	rows, err := r.Table5([]string{"c432"}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := rows[0]
+	for i, x := range row.X {
+		if x < 1 {
+			t.Errorf("policy %s: X=%.2f below 1", Table5PolicyNames[i], x)
+		}
+	}
+	// Paper's main finding: 2-option is nearly as good as 4-option.
+	if row.X[1] < row.X[0]*0.7 {
+		t.Errorf("2-option X (%.2f) should be close to 4-option (%.2f)", row.X[1], row.X[0])
+	}
+	if !strings.Contains(FormatTable5(rows, 0.05), "uniform") {
+		t.Error("formatted table 5 missing policies")
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	r := testRunner()
+	pts, err := r.Figure5("c432", []float64{0, 0.05, 0.25, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("want 4 points, got %d", len(pts))
+	}
+	// Monotone nonincreasing leakage with looser budgets; constant
+	// baselines; gains saturate: the 25%->100% step is smaller than the
+	// 0%->25% step (paper: rapid saturation beyond ~10%).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Heu1UA > pts[i-1].Heu1UA*1.02 {
+			t.Errorf("leakage rose with looser budget: %.2f -> %.2f", pts[i-1].Heu1UA, pts[i].Heu1UA)
+		}
+		if pts[i].AvgUA != pts[0].AvgUA || pts[i].StateOnlyUA != pts[0].StateOnlyUA {
+			t.Error("baselines should be constant across the sweep")
+		}
+	}
+	early := pts[0].Heu1UA - pts[2].Heu1UA
+	late := pts[2].Heu1UA - pts[3].Heu1UA
+	if late > early {
+		t.Errorf("gains should saturate: early %.2f, late %.2f", early, late)
+	}
+	if !strings.Contains(FormatFigure5("c432", pts), "penalty") {
+		t.Error("formatted figure 5 missing header")
+	}
+}
+
+func TestRunnerCaching(t *testing.T) {
+	r := testRunner()
+	a, err := r.Circuit("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Circuit("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("circuit not cached")
+	}
+	if _, err := r.Circuit("bogus"); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	all := AllNames()
+	if len(all) != 11 {
+		t.Errorf("want 11 benchmarks, got %d", len(all))
+	}
+	if all[0] != "c432" || all[10] != "alu64" {
+		t.Errorf("paper order violated: %v", all)
+	}
+	for _, s := range SmallNames() {
+		found := false
+		for _, a := range all {
+			if a == s {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("small name %s not in full set", s)
+		}
+	}
+}

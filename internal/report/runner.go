@@ -1,0 +1,121 @@
+// Package report regenerates the paper's evaluation artifacts: Table 1
+// (NAND2 version trade-offs), Table 2 (library sizes), Table 3 (heuristic
+// comparison), Table 4 (comparison against state-only and state+Vt), Table
+// 5 (library options) and Figures 1 (inverter leakage components) and 5
+// (leakage vs. delay penalty for c7552).
+package report
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"svto/internal/core"
+	"svto/internal/gen"
+	"svto/internal/library"
+	"svto/internal/netlist"
+	"svto/internal/sta"
+	"svto/internal/tech"
+)
+
+// Runner holds the shared experiment environment.
+type Runner struct {
+	Tech *tech.Params
+	Cfg  sta.Config
+	// Vectors is the random-vector count for the average-leakage column
+	// (the paper uses 10000).
+	Vectors int
+	Seed    int64
+	// Heu2Limit is heuristic 2's search budget per (circuit, penalty).
+	// The paper used 1800s; the default here is far smaller so the full
+	// evaluation completes in minutes.
+	Heu2Limit time.Duration
+
+	circuits map[string]*netlist.Circuit
+	problems map[problemKey]*core.Problem
+}
+
+type problemKey struct {
+	circuit string
+	opt     library.Options
+	obj     core.Objective
+}
+
+// NewRunner returns a Runner with the default environment.
+func NewRunner() *Runner {
+	return &Runner{
+		Tech:      tech.Default(),
+		Cfg:       sta.DefaultConfig(),
+		Vectors:   10000,
+		Seed:      2004, // DATE 2004
+		Heu2Limit: 2 * time.Second,
+	}
+}
+
+// Circuit builds (and caches) a benchmark circuit by paper name.
+func (r *Runner) Circuit(name string) (*netlist.Circuit, error) {
+	if c, ok := r.circuits[name]; ok {
+		return c, nil
+	}
+	prof, err := gen.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	c, err := prof.Build()
+	if err != nil {
+		return nil, err
+	}
+	if r.circuits == nil {
+		r.circuits = map[string]*netlist.Circuit{}
+	}
+	r.circuits[name] = c
+	return c, nil
+}
+
+// Problem builds (and caches) an optimization problem for a circuit under a
+// library policy and objective.
+func (r *Runner) Problem(name string, opt library.Options, obj core.Objective) (*core.Problem, error) {
+	key := problemKey{name, opt, obj}
+	if p, ok := r.problems[key]; ok {
+		return p, nil
+	}
+	circ, err := r.Circuit(name)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := library.Cached(r.Tech, opt)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(circ, lib, r.Cfg, obj)
+	if err != nil {
+		return nil, err
+	}
+	if r.problems == nil {
+		r.problems = map[problemKey]*core.Problem{}
+	}
+	r.problems[key] = p
+	return p, nil
+}
+
+// AllNames returns the benchmark names in paper order.
+func AllNames() []string {
+	profiles := gen.Benchmarks()
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// SmallNames returns a fast subset for tests and quick runs.
+func SmallNames() []string { return []string{"c432", "c499", "c880"} }
+
+// microamps converts nA to the paper's µA unit.
+func microamps(nA float64) float64 { return nA / 1000 }
+
+// fmtX formats a reduction factor like the paper ("3.6").
+func fmtX(x float64) string { return fmt.Sprintf("%.1f", x) }
+
+// createFile wraps os.Create so the csv helpers stay io-focused.
+func createFile(path string) (*os.File, error) { return os.Create(path) }

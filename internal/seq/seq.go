@@ -1,0 +1,161 @@
+// Package seq handles sequential netlists (ISCAS-89 style .bench files
+// with DFF elements).  The paper's standby mechanism drives the sleep
+// vector from modified sequential elements, which corresponds exactly to
+// cutting the circuit at its register boundary: every flip-flop output
+// becomes a controllable pseudo-input of the combinational core (part of
+// the sleep vector, loaded into the modified flip-flops before entering
+// standby) and every flip-flop input becomes a pseudo-output.
+package seq
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"svto/internal/netlist"
+)
+
+// FF is one flip-flop: its output net (a pseudo-input of the core) and its
+// data-input net (a pseudo-output).
+type FF struct {
+	Out string // Q: net driven by the flip-flop
+	In  string // D: net sampled by the flip-flop
+}
+
+// Circuit is a sequential netlist cut at the register boundary.
+type Circuit struct {
+	// Comb is the combinational core: its inputs are the true primary
+	// inputs followed by the flip-flop outputs; its outputs are the true
+	// primary outputs followed by the flip-flop inputs.
+	Comb *netlist.Circuit
+	// PIs and POs count the true primary inputs/outputs (the leading
+	// entries of Comb.Inputs / Comb.Outputs).
+	PIs, POs int
+	// FFs lists the flip-flops in Comb order.
+	FFs []FF
+}
+
+// NumState returns the number of state bits.
+func (c *Circuit) NumState() int { return len(c.FFs) }
+
+// SleepVector splits a combinational-core input assignment into the true
+// primary-input part and the flip-flop (state) part — the values the
+// modified sequential elements must hold in standby.
+func (c *Circuit) SleepVector(state []bool) (pi, ff []bool, err error) {
+	if len(state) != len(c.Comb.Inputs) {
+		return nil, nil, fmt.Errorf("seq: %d values for %d core inputs", len(state), len(c.Comb.Inputs))
+	}
+	return state[:c.PIs], state[c.PIs:], nil
+}
+
+// ReadBench parses a sequential .bench netlist (gates plus
+// "Q = DFF(D)" lines) and cuts it at the register boundary.
+func ReadBench(r io.Reader, name string) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	comb := &netlist.Circuit{Name: name}
+	var ffs []FF
+	var outputs []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT"):
+			net, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("seq %s:%d: %w", name, lineNo, err)
+			}
+			comb.Inputs = append(comb.Inputs, net)
+		case strings.HasPrefix(upper, "OUTPUT"):
+			net, err := parseParen(line)
+			if err != nil {
+				return nil, fmt.Errorf("seq %s:%d: %w", name, lineNo, err)
+			}
+			outputs = append(outputs, net)
+		default:
+			eq := strings.IndexByte(line, '=')
+			if eq < 0 {
+				return nil, fmt.Errorf("seq %s:%d: malformed line %q", name, lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			if strings.HasPrefix(strings.ToUpper(rhs), "DFF") {
+				d, err := parseParen(rhs)
+				if err != nil {
+					return nil, fmt.Errorf("seq %s:%d: %w", name, lineNo, err)
+				}
+				ffs = append(ffs, FF{Out: out, In: d})
+				continue
+			}
+			open := strings.IndexByte(rhs, '(')
+			close := strings.LastIndexByte(rhs, ')')
+			if open <= 0 || close < open {
+				return nil, fmt.Errorf("seq %s:%d: malformed gate %q", name, lineNo, line)
+			}
+			op, err := netlist.ParseOp(strings.ToUpper(strings.TrimSpace(rhs[:open])))
+			if err != nil {
+				return nil, fmt.Errorf("seq %s:%d: %w", name, lineNo, err)
+			}
+			var fanin []string
+			for _, part := range strings.Split(rhs[open+1:close], ",") {
+				part = strings.TrimSpace(part)
+				if part == "" {
+					return nil, fmt.Errorf("seq %s:%d: empty fanin", name, lineNo)
+				}
+				fanin = append(fanin, part)
+			}
+			comb.Gates = append(comb.Gates, netlist.Gate{Name: out, Op: op, Fanin: fanin})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	c := &Circuit{PIs: len(comb.Inputs), POs: len(outputs), FFs: ffs}
+	// Register cut: FF outputs join the inputs, FF inputs join the
+	// outputs.
+	for _, ff := range ffs {
+		comb.Inputs = append(comb.Inputs, ff.Out)
+	}
+	comb.Outputs = append(outputs, ffInputs(ffs)...)
+	c.Comb = comb
+	if _, err := comb.Compile(); err != nil {
+		return nil, fmt.Errorf("seq %s: %w", name, err)
+	}
+	return c, nil
+}
+
+func ffInputs(ffs []FF) []string {
+	// A flip-flop input may coincide with a true output or another FF's
+	// input net; the netlist layer requires unique output labels only
+	// for gates, and Circuit outputs may repeat nets — dedup here to
+	// keep the output list clean.
+	seen := map[string]bool{}
+	var out []string
+	for _, ff := range ffs {
+		if !seen[ff.In] {
+			seen[ff.In] = true
+			out = append(out, ff.In)
+		}
+	}
+	return out
+}
+
+func parseParen(s string) (string, error) {
+	open := strings.IndexByte(s, '(')
+	close := strings.LastIndexByte(s, ')')
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed declaration %q", s)
+	}
+	net := strings.TrimSpace(s[open+1 : close])
+	if net == "" {
+		return "", fmt.Errorf("empty net in %q", s)
+	}
+	return net, nil
+}

@@ -1,0 +1,218 @@
+// Package sim provides combinational logic simulation over compiled
+// netlists: plain 2-valued evaluation (used to fix every gate's input state
+// under a candidate sleep vector), 3-valued 0/1/X evaluation (used by the
+// optimizer's state-tree bounds when only part of the sleep vector is
+// assigned), and deterministic random-vector generation for the
+// average-leakage baseline.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"svto/internal/netlist"
+)
+
+// Eval computes all net values for the given primary-input assignment.
+// The result is indexed by net id.
+func Eval(cc *netlist.Compiled, pi []bool) ([]bool, error) {
+	if len(pi) != len(cc.PI) {
+		return nil, fmt.Errorf("sim: %d PI values for %d inputs", len(pi), len(cc.PI))
+	}
+	vals := make([]bool, cc.NumNets())
+	for i, net := range cc.PI {
+		vals[net] = pi[i]
+	}
+	in := make([]bool, 8)
+	for _, g := range cc.Gates {
+		in = in[:len(g.In)]
+		for k, net := range g.In {
+			in[k] = vals[net]
+		}
+		vals[g.Out] = g.Op.Eval(in)
+	}
+	return vals, nil
+}
+
+// GateState returns the input-state bitmask of gate g under the net values:
+// bit k is the value of fan-in k.  This is the index into the library's
+// per-state leakage tables.
+func GateState(g *netlist.CGate, vals []bool) uint {
+	var s uint
+	for k, net := range g.In {
+		if vals[net] {
+			s |= 1 << uint(k)
+		}
+	}
+	return s
+}
+
+// Value is a 3-valued logic level.
+type Value uint8
+
+const (
+	False Value = iota
+	True
+	X // unknown
+)
+
+// String returns "0", "1" or "X".
+func (v Value) String() string {
+	switch v {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// FromBool converts a bool to a Value.
+func FromBool(b bool) Value {
+	if b {
+		return True
+	}
+	return False
+}
+
+func and3(a, b Value) Value {
+	switch {
+	case a == False || b == False:
+		return False
+	case a == True && b == True:
+		return True
+	default:
+		return X
+	}
+}
+
+func or3(a, b Value) Value {
+	switch {
+	case a == True || b == True:
+		return True
+	case a == False && b == False:
+		return False
+	default:
+		return X
+	}
+}
+
+func not3(a Value) Value {
+	switch a {
+	case False:
+		return True
+	case True:
+		return False
+	default:
+		return X
+	}
+}
+
+func xor3(a, b Value) Value {
+	if a == X || b == X {
+		return X
+	}
+	if (a == True) != (b == True) {
+		return True
+	}
+	return False
+}
+
+// Eval3Op computes an op under 3-valued logic with full X-propagation of
+// controlling values (an AND with any 0 input is 0 even if others are X).
+func Eval3Op(op netlist.Op, in []Value) Value {
+	switch op {
+	case netlist.OpNot:
+		return not3(in[0])
+	case netlist.OpBuf:
+		return in[0]
+	case netlist.OpAnd, netlist.OpNand:
+		v := True
+		for _, b := range in {
+			v = and3(v, b)
+		}
+		if op == netlist.OpNand {
+			return not3(v)
+		}
+		return v
+	case netlist.OpOr, netlist.OpNor:
+		v := False
+		for _, b := range in {
+			v = or3(v, b)
+		}
+		if op == netlist.OpNor {
+			return not3(v)
+		}
+		return v
+	case netlist.OpXor, netlist.OpXnor:
+		v := False
+		for _, b := range in {
+			v = xor3(v, b)
+		}
+		if op == netlist.OpXnor {
+			return not3(v)
+		}
+		return v
+	case netlist.OpAoi21:
+		return not3(or3(and3(in[0], in[1]), in[2]))
+	case netlist.OpOai21:
+		return not3(and3(or3(in[0], in[1]), in[2]))
+	case netlist.OpAoi22:
+		return not3(or3(and3(in[0], in[1]), and3(in[2], in[3])))
+	case netlist.OpOai22:
+		return not3(and3(or3(in[0], in[1]), or3(in[2], in[3])))
+	default:
+		panic(fmt.Sprintf("sim: eval3 of unknown op %d", uint8(op)))
+	}
+}
+
+// Eval3 computes all net values under a partial primary-input assignment.
+func Eval3(cc *netlist.Compiled, pi []Value) ([]Value, error) {
+	if len(pi) != len(cc.PI) {
+		return nil, fmt.Errorf("sim: %d PI values for %d inputs", len(pi), len(cc.PI))
+	}
+	vals := make([]Value, cc.NumNets())
+	for i, net := range cc.PI {
+		vals[net] = pi[i]
+	}
+	in := make([]Value, 8)
+	for _, g := range cc.Gates {
+		in = in[:len(g.In)]
+		for k, net := range g.In {
+			in[k] = vals[net]
+		}
+		vals[g.Out] = Eval3Op(g.Op, in)
+	}
+	return vals, nil
+}
+
+// KnownGateState reports whether every fan-in of the gate is known under the
+// 3-valued net values, and if so its state bitmask.
+func KnownGateState(g *netlist.CGate, vals []Value) (uint, bool) {
+	var s uint
+	for k, net := range g.In {
+		switch vals[net] {
+		case X:
+			return 0, false
+		case True:
+			s |= 1 << uint(k)
+		}
+	}
+	return s, true
+}
+
+// RandomVectors generates count deterministic pseudo-random input vectors
+// of the given width.
+func RandomVectors(seed int64, width, count int) [][]bool {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]bool, count)
+	for i := range out {
+		v := make([]bool, width)
+		for j := range v {
+			v[j] = rng.Intn(2) == 1
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package spnet
+
+// Property tests over randomly generated series-parallel networks: the
+// invariants the cell layer relies on must hold for every topology the
+// template set could ever use, not just the hand-built ones.
+
+import (
+	"math/rand"
+	"testing"
+
+	"svto/internal/device"
+	"svto/internal/tech"
+)
+
+// randomNetwork builds a random SP tree with up to maxDev devices of one
+// kind, each driven by its own gate slot.
+func randomNetwork(rng *rand.Rand, kind tech.DeviceKind, maxDev int) *Network {
+	n := &Network{}
+	var build func(depth int) Element
+	budget := 2 + rng.Intn(maxDev-1)
+	addDev := func() Element {
+		idx := len(n.Devices)
+		n.Devices = append(n.Devices, device.Device{
+			Kind: kind, W: 1 + float64(rng.Intn(4)), Corner: tech.FastCorner,
+		})
+		return DevRef{Index: idx, Gate: idx}
+	}
+	build = func(depth int) Element {
+		if depth >= 3 || len(n.Devices) >= budget || rng.Intn(3) == 0 {
+			return addDev()
+		}
+		k := 2 + rng.Intn(2)
+		children := make([]Element, k)
+		for i := range children {
+			children[i] = build(depth + 1)
+		}
+		if rng.Intn(2) == 0 {
+			return Series(children)
+		}
+		return Parallel(children)
+	}
+	n.Root = build(0)
+	n.NumGates = len(n.Devices)
+	return n
+}
+
+func TestRandomNetworksInvariants(t *testing.T) {
+	p := tech.Default()
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 60; trial++ {
+		kind := tech.NMOS
+		if trial%2 == 1 {
+			kind = tech.PMOS
+		}
+		n := randomNetwork(rng, kind, 8)
+		if err := n.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid network: %v", trial, err)
+		}
+		corners := make([]tech.Corner, len(n.Devices))
+		gates := make([]float64, n.NumGates)
+		for i := range corners {
+			switch rng.Intn(4) {
+			case 0:
+				corners[i] = tech.FastCorner
+			case 1:
+				corners[i] = tech.LowIsubCorner
+			case 2:
+				corners[i] = tech.LowIgateCorner
+			default:
+				corners[i] = tech.SlowCorner
+			}
+		}
+		for i := range gates {
+			if rng.Intn(2) == 0 {
+				gates[i] = p.Vdd
+			}
+		}
+
+		// Invariant 1: zero bias -> zero current, all nodes at the rail.
+		sol0, err := n.Solve(p, corners, gates, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol0.Current != 0 {
+			t.Fatalf("trial %d: current %g at zero bias", trial, sol0.Current)
+		}
+
+		// Invariant 2: positive bias -> nonnegative current, node
+		// voltages within the rails and ordered top-down per device.
+		sol, err := n.Solve(p, corners, gates, p.Vdd, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Current < 0 {
+			t.Fatalf("trial %d: negative network current %g", trial, sol.Current)
+		}
+		if len(sol.Biases) != len(n.Devices) {
+			t.Fatalf("trial %d: %d biases for %d devices", trial, len(sol.Biases), len(n.Devices))
+		}
+		for _, b := range sol.Biases {
+			if b.VTop < -1e-9 || b.VTop > p.Vdd+1e-9 || b.VBot < -1e-9 || b.VBot > p.Vdd+1e-9 {
+				t.Fatalf("trial %d: node voltage outside rails: %+v", trial, b)
+			}
+			if b.VTop < b.VBot-1e-9 {
+				t.Fatalf("trial %d: inverted device bias: %+v", trial, b)
+			}
+			if b.Igate(p) < 0 {
+				t.Fatalf("trial %d: negative gate leakage", trial)
+			}
+		}
+
+		// Invariant 3: monotonicity in the top terminal voltage.
+		solLow, err := n.Solve(p, corners, gates, p.Vdd/2, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solLow.Current > sol.Current+1e-9 {
+			t.Fatalf("trial %d: current not monotone in vtop: %g > %g", trial, solLow.Current, sol.Current)
+		}
+
+		// Invariant 4: high-Vt everywhere never increases the current.
+		hvt := make([]tech.Corner, len(corners))
+		for i := range hvt {
+			hvt[i] = tech.Corner{Vt: tech.VtHigh, Tox: corners[i].Tox}
+		}
+		solHvt, err := n.Solve(p, hvt, gates, p.Vdd, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if solHvt.Current > sol.Current*1.0001+1e-9 {
+			t.Fatalf("trial %d: high-Vt increased current: %g vs %g", trial, solHvt.Current, sol.Current)
+		}
+
+		// Invariant 5: the conduction predicate agrees with the solved
+		// current: a conducting network carries orders of magnitude more
+		// current than a cut-off one.
+		on := make([]bool, n.NumGates)
+		for i := range on {
+			if kind == tech.PMOS {
+				on[i] = gates[i] == 0
+			} else {
+				on[i] = gates[i] == p.Vdd
+			}
+		}
+		if n.Conducts(on) && sol.Current < 100 {
+			t.Fatalf("trial %d: conducting network carries only %g nA", trial, sol.Current)
+		}
+		if !n.Conducts(on) && sol.Current > 1000 {
+			t.Fatalf("trial %d: cut-off network carries %g nA", trial, sol.Current)
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package spnet
+
+import (
+	"math"
+	"testing"
+
+	"svto/internal/device"
+	"svto/internal/tech"
+)
+
+// nand2PullDown builds the NAND2 pull-down: two 2um NMOS in series, pin 0
+// driving the top device.
+func nand2PullDown() *Network {
+	return &Network{
+		Devices: []device.Device{
+			{Kind: tech.NMOS, W: 2, Corner: tech.FastCorner},
+			{Kind: tech.NMOS, W: 2, Corner: tech.FastCorner},
+		},
+		Root:     Series{DevRef{Index: 0, Gate: 0}, DevRef{Index: 1, Gate: 1}},
+		NumGates: 2,
+	}
+}
+
+// nand2PullUp builds the NAND2 pull-up: two 2um PMOS in parallel.
+func nand2PullUp() *Network {
+	return &Network{
+		Devices: []device.Device{
+			{Kind: tech.PMOS, W: 2, Corner: tech.FastCorner},
+			{Kind: tech.PMOS, W: 2, Corner: tech.FastCorner},
+		},
+		Root:     Parallel{DevRef{Index: 0, Gate: 0}, DevRef{Index: 1, Gate: 1}},
+		NumGates: 2,
+	}
+}
+
+func fastCorners(n int) []tech.Corner {
+	c := make([]tech.Corner, n)
+	for i := range c {
+		c[i] = tech.FastCorner
+	}
+	return c
+}
+
+func TestValidate(t *testing.T) {
+	if err := nand2PullDown().Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	bad := []*Network{
+		{Devices: nil, Root: DevRef{}, NumGates: 1},
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 2}}, Root: nil, NumGates: 1},
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 2}}, Root: DevRef{Index: 3}, NumGates: 1},
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 2}}, Root: DevRef{Gate: 5}, NumGates: 1},
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 2}}, Root: Series{}, NumGates: 1},
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 2}}, Root: Parallel{}, NumGates: 1},
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 2}, {Kind: tech.NMOS, W: 2}},
+			Root: DevRef{Index: 0}, NumGates: 1}, // device 1 unplaced
+		{Devices: []device.Device{{Kind: tech.NMOS, W: 0}}, Root: DevRef{}, NumGates: 1},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad network %d accepted", i)
+		}
+	}
+}
+
+func TestStackEffect(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	// Both OFF (inputs 00): the series stack must leak much less than a
+	// single OFF device of the same size.
+	sol, err := n.Solve(p, fastCorners(2), []float64{0, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := device.Device{Kind: tech.NMOS, W: 2, Corner: tech.FastCorner}.OffIsub(p)
+	if sol.Current <= 0 {
+		t.Fatalf("stack leakage should be positive, got %g", sol.Current)
+	}
+	if sol.Current > single/2 {
+		t.Errorf("2-stack leakage %g should be well below single-device %g", sol.Current, single)
+	}
+	if sol.Current < single/50 {
+		t.Errorf("2-stack leakage %g implausibly small vs single %g", sol.Current, single)
+	}
+	// The internal node floats to a small positive voltage.
+	vint := sol.Biases[0].VBot
+	if vint <= 0 || vint > 0.3 {
+		t.Errorf("internal node voltage %g outside plausible (0, 0.3V]", vint)
+	}
+}
+
+func TestSeriesCurrentConservation(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	for _, gv := range [][]float64{{0, 0}, {0, 1}, {1, 0}} {
+		sol, err := n.Solve(p, fastCorners(2), gv, p.Vdd, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i0, i1 := sol.Biases[0].Channel, sol.Biases[1].Channel
+		if rel := math.Abs(i0-i1) / math.Max(i0, 1e-12); rel > 1e-6 {
+			t.Errorf("gates %v: series currents differ: %g vs %g", gv, i0, i1)
+		}
+		if math.Abs(sol.Current-i0) > 1e-9*(1+i0) {
+			t.Errorf("gates %v: root current %g != device current %g", gv, sol.Current, i0)
+		}
+	}
+}
+
+func TestOnAboveOffSuppressesIgate(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	// State A=1 (top ON), B=0 (bottom OFF), output high: the internal
+	// node floats up to ~Vdd - Vt so the top device's gate leakage is
+	// negligible (paper section 3, figure 3(f)).
+	sol, err := n.Solve(p, fastCorners(2), []float64{p.Vdd, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vint := sol.Biases[0].VBot
+	wantLow := p.Vdd - p.NMOS.VtHigh - 0.1
+	if vint < wantLow || vint > p.Vdd {
+		t.Errorf("internal node %g should float near Vdd - Vt", vint)
+	}
+	topIgate := sol.Biases[0].Igate(p)
+	full := device.Device{Kind: tech.NMOS, W: 2, Corner: tech.FastCorner}.OnIgate(p)
+	if topIgate > full/20 {
+		t.Errorf("top ON device Igate %g should collapse vs full-bias %g", topIgate, full)
+	}
+}
+
+func TestHighVtOnOneStackDeviceCutsLeakage(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	base, err := n.Solve(p, fastCorners(2), []float64{0, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Assigning high-Vt to just one device of an OFF stack reduces the
+	// whole stack's current substantially (paper section 3).
+	one := []tech.Corner{tech.LowIsubCorner, tech.FastCorner}
+	solOne, err := n.Solve(p, one, []float64{0, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solOne.Current >= base.Current/2 {
+		t.Errorf("one high-Vt device: %g not well below base %g", solOne.Current, base.Current)
+	}
+	// Both high-Vt is better still but not by another full 17.8X.
+	both := []tech.Corner{tech.LowIsubCorner, tech.LowIsubCorner}
+	solBoth, err := n.Solve(p, both, []float64{0, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solBoth.Current >= solOne.Current {
+		t.Errorf("both high-Vt %g should be below one high-Vt %g", solBoth.Current, solOne.Current)
+	}
+}
+
+func TestParallelSums(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullUp()
+	// Both PMOS OFF (inputs 11), output low: each leaks independently.
+	sol, err := n.Solve(p, fastCorners(2), []float64{p.Vdd, p.Vdd}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := device.Device{Kind: tech.PMOS, W: 2, Corner: tech.FastCorner}.OffIsub(p)
+	if math.Abs(sol.Current-2*single) > 0.01*single {
+		t.Errorf("parallel OFF current %g, want 2x single %g", sol.Current, 2*single)
+	}
+}
+
+func TestConducts(t *testing.T) {
+	pd := nand2PullDown()
+	cases := []struct {
+		on   []bool
+		want bool
+	}{
+		{[]bool{true, true}, true},
+		{[]bool{true, false}, false},
+		{[]bool{false, true}, false},
+		{[]bool{false, false}, false},
+	}
+	for _, c := range cases {
+		if got := pd.Conducts(c.on); got != c.want {
+			t.Errorf("series Conducts(%v) = %v, want %v", c.on, got, c.want)
+		}
+	}
+	pu := nand2PullUp()
+	if !pu.Conducts([]bool{true, false}) || pu.Conducts([]bool{false, false}) {
+		t.Error("parallel Conducts wrong")
+	}
+}
+
+func TestConductingPathPinsOutput(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	// Both ON with both terminals at 0 (output pulled low): zero current,
+	// all nodes at ground.
+	sol, err := n.Solve(p, fastCorners(2), []float64{p.Vdd, p.Vdd}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Current != 0 {
+		t.Errorf("zero-bias network should carry no current, got %g", sol.Current)
+	}
+	for _, b := range sol.Biases {
+		if b.VTop != 0 || b.VBot != 0 {
+			t.Errorf("node voltages should be 0, got %+v", b)
+		}
+	}
+}
+
+func TestStackGroups(t *testing.T) {
+	pd := nand2PullDown()
+	g := pd.StackGroups()
+	if len(g) != 1 || len(g[0]) != 2 {
+		t.Errorf("NAND2 pull-down stacks = %v, want one group of 2", g)
+	}
+	pu := nand2PullUp()
+	g = pu.StackGroups()
+	if len(g) != 2 || len(g[0]) != 1 || len(g[1]) != 1 {
+		t.Errorf("NAND2 pull-up stacks = %v, want two singletons", g)
+	}
+	// AOI21-style pull-down: (A AND B) OR C.
+	aoi := &Network{
+		Devices: []device.Device{
+			{Kind: tech.NMOS, W: 2}, {Kind: tech.NMOS, W: 2}, {Kind: tech.NMOS, W: 1},
+		},
+		Root: Parallel{
+			Series{DevRef{Index: 0, Gate: 0}, DevRef{Index: 1, Gate: 1}},
+			DevRef{Index: 2, Gate: 2},
+		},
+		NumGates: 3,
+	}
+	g = aoi.StackGroups()
+	if len(g) != 2 {
+		t.Fatalf("AOI21 stacks = %v, want 2 groups", g)
+	}
+	if len(g[0]) != 2 || len(g[1]) != 1 {
+		t.Errorf("AOI21 stacks = %v, want {A,B} and {C}", g)
+	}
+}
+
+func TestSolveArgumentChecks(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	if _, err := n.Solve(p, fastCorners(1), []float64{0, 0}, p.Vdd, 0); err == nil {
+		t.Error("wrong corner count accepted")
+	}
+	if _, err := n.Solve(p, fastCorners(2), []float64{0}, p.Vdd, 0); err == nil {
+		t.Error("wrong gate-voltage count accepted")
+	}
+}
+
+func TestNetworkCurrentMonotoneInTopVoltage(t *testing.T) {
+	p := tech.Default()
+	n := nand2PullDown()
+	prev := -1.0
+	for v := 0.0; v <= p.Vdd+1e-9; v += 0.05 {
+		sol, err := n.Solve(p, fastCorners(2), []float64{0, 0}, v, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Current < prev-1e-9 {
+			t.Fatalf("network current not monotone at vtop=%.2f: %g < %g", v, sol.Current, prev)
+		}
+		prev = sol.Current
+	}
+}
+
+func TestThreeDeepStack(t *testing.T) {
+	p := tech.Default()
+	n := &Network{
+		Devices: []device.Device{
+			{Kind: tech.NMOS, W: 3}, {Kind: tech.NMOS, W: 3}, {Kind: tech.NMOS, W: 3},
+		},
+		Root: Series{
+			DevRef{Index: 0, Gate: 0}, DevRef{Index: 1, Gate: 1}, DevRef{Index: 2, Gate: 2},
+		},
+		NumGates: 3,
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	all3, err := n.Solve(p, fastCorners(3), []float64{0, 0, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two := nand2PullDown()
+	two.Devices[0].W, two.Devices[1].W = 3, 3
+	all2, err := two.Solve(p, fastCorners(2), []float64{0, 0}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all3.Current >= all2.Current {
+		t.Errorf("3-stack %g should leak less than 2-stack %g", all3.Current, all2.Current)
+	}
+	// Currents through all three devices agree.
+	for i := 1; i < 3; i++ {
+		if rel := math.Abs(all3.Biases[i].Channel-all3.Biases[0].Channel) / all3.Biases[0].Channel; rel > 1e-6 {
+			t.Errorf("3-stack device %d current mismatch: %g vs %g", i, all3.Biases[i].Channel, all3.Biases[0].Channel)
+		}
+	}
+	// Node voltages descend monotonically down the stack.
+	if !(all3.Biases[0].VBot >= all3.Biases[1].VBot && all3.Biases[1].VBot >= all3.Biases[2].VBot) {
+		t.Errorf("stack node voltages not monotone: %+v", all3.Biases)
+	}
+}
+
+func TestPullUpNetworkPMOS(t *testing.T) {
+	p := tech.Default()
+	// NOR2 pull-up: two PMOS in series between Vdd (top) and output (bottom).
+	n := &Network{
+		Devices: []device.Device{
+			{Kind: tech.PMOS, W: 4}, {Kind: tech.PMOS, W: 4},
+		},
+		Root:     Series{DevRef{Index: 0, Gate: 0}, DevRef{Index: 1, Gate: 1}},
+		NumGates: 2,
+	}
+	// Inputs 01: top PMOS ON (gate 0), bottom OFF (gate 1). Output low.
+	sol, err := n.Solve(p, fastCorners(2), []float64{0, p.Vdd}, p.Vdd, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Current <= 0 {
+		t.Fatalf("pull-up leakage should be positive, got %g", sol.Current)
+	}
+	// Only one device is OFF so the current should be comparable to (but
+	// below) a single OFF PMOS with full rail.
+	single := device.Device{Kind: tech.PMOS, W: 4, Corner: tech.FastCorner}.OffIsub(p)
+	if sol.Current > single || sol.Current < single/10 {
+		t.Errorf("one-OFF series PMOS current %g vs single OFF %g out of range", sol.Current, single)
+	}
+	// The internal node should sit near Vdd (ON device above).
+	if vint := sol.Biases[0].VBot; vint < p.Vdd-0.4 {
+		t.Errorf("internal pull-up node %g should be near Vdd", vint)
+	}
+}

@@ -1,0 +1,292 @@
+// Package sta implements slew/load-propagating static timing analysis over
+// mapped circuits with library-version choices per gate, in the style the
+// paper's optimizer needs: every cell version carries NLDM delay/slew
+// tables, all library cells are inverting (rise arcs launch from falling
+// inputs and vice versa), loads are the sum of fan-out pin capacitances
+// plus wire and primary-output loads.
+//
+// Two evaluation modes are provided: a full topological analysis, and an
+// incremental State that re-propagates only the affected cone when one
+// gate's version choice changes — the operation the optimizer's gate-tree
+// descent performs tens of thousands of times.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"svto/internal/library"
+	"svto/internal/netlist"
+)
+
+// Config sets the boundary conditions of the analysis.
+type Config struct {
+	// InputSlew is the transition time (ps) presented at primary inputs.
+	InputSlew float64
+	// OutputLoad is the capacitance (fF) on each primary output.
+	OutputLoad float64
+	// WireCapPerFanout is the interconnect capacitance (fF) added to a
+	// net per fan-out connection.
+	WireCapPerFanout float64
+}
+
+// DefaultConfig returns the boundary conditions used by the evaluation.
+func DefaultConfig() Config {
+	return Config{InputSlew: 20, OutputLoad: 4, WireCapPerFanout: 1}
+}
+
+// Timer binds a compiled circuit to library cells per gate.
+type Timer struct {
+	CC    *netlist.Compiled
+	Lib   *library.Library
+	Cells []*library.Cell // indexed by gate position
+	Cfg   Config
+}
+
+// New resolves every gate to its library cell.
+func New(cc *netlist.Compiled, lib *library.Library, cfg Config) (*Timer, error) {
+	t := &Timer{CC: cc, Lib: lib, Cells: make([]*library.Cell, len(cc.Gates)), Cfg: cfg}
+	for i := range cc.Gates {
+		g := &cc.Gates[i]
+		name := (&netlist.Gate{Op: g.Op, Fanin: make([]string, len(g.In))}).CellName()
+		if name == "" {
+			return nil, fmt.Errorf("sta: gate %s is not library-backed (%s/%d inputs)",
+				cc.NetName[g.Out], g.Op, len(g.In))
+		}
+		cell := lib.Cell(name)
+		if cell == nil {
+			return nil, fmt.Errorf("sta: library has no cell %s", name)
+		}
+		t.Cells[i] = cell
+	}
+	return t, nil
+}
+
+// FastChoices returns the all-fast (minimum delay) choice assignment.
+func (t *Timer) FastChoices() []*library.Choice {
+	out := make([]*library.Choice, len(t.CC.Gates))
+	for i, c := range t.Cells {
+		out[i] = c.FastChoice(0)
+	}
+	return out
+}
+
+// SlowChoices returns the all-high-Vt/thick-Tox assignment defining the
+// 100% delay-penalty point.
+func (t *Timer) SlowChoices() []*library.Choice {
+	out := make([]*library.Choice, len(t.CC.Gates))
+	for i, c := range t.Cells {
+		out[i] = &library.Choice{Version: c.Slow}
+	}
+	return out
+}
+
+// State is an incrementally-maintained timing solution.
+type State struct {
+	t       *Timer
+	choices []*library.Choice
+	// Per-net arrival times and slews (ps), split by transition.
+	arrR, arrF, slewR, slewF []float64
+	dirty                    *gateHeap
+	inQueue                  []bool
+}
+
+// NewState builds a fully-analyzed timing state for the given choices.
+// The choices slice is copied.
+func (t *Timer) NewState(choices []*library.Choice) (*State, error) {
+	if len(choices) != len(t.CC.Gates) {
+		return nil, fmt.Errorf("sta: %d choices for %d gates", len(choices), len(t.CC.Gates))
+	}
+	n := t.CC.NumNets()
+	s := &State{
+		t:       t,
+		choices: append([]*library.Choice(nil), choices...),
+		arrR:    make([]float64, n),
+		arrF:    make([]float64, n),
+		slewR:   make([]float64, n),
+		slewF:   make([]float64, n),
+		dirty:   &gateHeap{},
+		inQueue: make([]bool, len(t.CC.Gates)),
+	}
+	for _, pi := range t.CC.PI {
+		s.slewR[pi] = t.Cfg.InputSlew
+		s.slewF[pi] = t.Cfg.InputSlew
+	}
+	for i := range t.CC.Gates {
+		s.evalGate(i)
+	}
+	return s, nil
+}
+
+// Choice returns the current choice of a gate.
+func (s *State) Choice(gate int) *library.Choice { return s.choices[gate] }
+
+// load computes the capacitance on a net from its fan-out pins.
+func (s *State) load(net int) float64 {
+	cc := s.t.CC
+	l := s.t.Cfg.WireCapPerFanout * float64(len(cc.Fanout[net]))
+	if cc.IsPO[net] {
+		l += s.t.Cfg.OutputLoad
+	}
+	for _, gi := range cc.Fanout[net] {
+		g := &cc.Gates[gi]
+		for pin, in := range g.In {
+			if in == net {
+				l += s.choices[gi].PinCap(pin)
+			}
+		}
+	}
+	return l
+}
+
+// evalGate recomputes a gate's output arrival/slew; reports change.
+func (s *State) evalGate(gi int) bool {
+	cc := s.t.CC
+	g := &cc.Gates[gi]
+	ch := s.choices[gi]
+	load := s.load(g.Out)
+	var aR, aF, sR, sF float64
+	for pin, in := range g.In {
+		arcs := ch.Timing(pin)
+		// Inverting cell: output rise launches from input fall.
+		r := s.arrF[in] + arcs.Rise.Delay.Lookup(s.slewF[in], load)
+		f := s.arrR[in] + arcs.Fall.Delay.Lookup(s.slewR[in], load)
+		aR = math.Max(aR, r)
+		aF = math.Max(aF, f)
+		sR = math.Max(sR, arcs.Rise.Slew.Lookup(s.slewF[in], load))
+		sF = math.Max(sF, arcs.Fall.Slew.Lookup(s.slewR[in], load))
+	}
+	const eps = 1e-9
+	changed := math.Abs(aR-s.arrR[g.Out]) > eps || math.Abs(aF-s.arrF[g.Out]) > eps ||
+		math.Abs(sR-s.slewR[g.Out]) > eps || math.Abs(sF-s.slewF[g.Out]) > eps
+	s.arrR[g.Out], s.arrF[g.Out] = aR, aF
+	s.slewR[g.Out], s.slewF[g.Out] = sR, sF
+	return changed
+}
+
+// markDirty queues a gate for re-evaluation.
+func (s *State) markDirty(gi int) {
+	if gi >= 0 && !s.inQueue[gi] {
+		s.inQueue[gi] = true
+		s.dirty.push(gi)
+	}
+}
+
+// SetChoice changes one gate's version choice and re-propagates timing
+// through the affected cone.  Changing a choice alters the gate's own arcs
+// and, through its pin capacitances, the loads (and hence delays) of its
+// fan-in drivers.
+func (s *State) SetChoice(gate int, ch *library.Choice) {
+	if s.choices[gate] == ch {
+		return
+	}
+	s.choices[gate] = ch
+	s.markDirty(gate)
+	cc := s.t.CC
+	for _, in := range cc.Gates[gate].In {
+		s.markDirty(cc.GateOfNet[in])
+	}
+	s.propagate()
+}
+
+// propagate drains the dirty queue in topological order.
+func (s *State) propagate() {
+	cc := s.t.CC
+	for s.dirty.Len() > 0 {
+		gi := s.dirty.pop()
+		s.inQueue[gi] = false
+		if s.evalGate(gi) {
+			for _, reader := range cc.Fanout[cc.Gates[gi].Out] {
+				s.markDirty(reader)
+			}
+		}
+	}
+}
+
+// Delay returns the circuit delay: the worst primary-output arrival (ps).
+func (s *State) Delay() float64 {
+	d := 0.0
+	for _, po := range s.t.CC.PO {
+		d = math.Max(d, math.Max(s.arrR[po], s.arrF[po]))
+	}
+	return d
+}
+
+// Arrival returns the worst arrival time (ps) of a net.
+func (s *State) Arrival(net int) float64 {
+	return math.Max(s.arrR[net], s.arrF[net])
+}
+
+// Analyze runs a one-shot full analysis for the given choices and returns
+// the circuit delay (ps).  It is the non-incremental reference.
+func (t *Timer) Analyze(choices []*library.Choice) (float64, error) {
+	s, err := t.NewState(choices)
+	if err != nil {
+		return 0, err
+	}
+	return s.Delay(), nil
+}
+
+// DelayBounds returns (Dmin, Dmax): the all-fast and all-slow circuit
+// delays that anchor the paper's delay-penalty definition.
+func (t *Timer) DelayBounds() (dmin, dmax float64, err error) {
+	dmin, err = t.Analyze(t.FastChoices())
+	if err != nil {
+		return 0, 0, err
+	}
+	dmax, err = t.Analyze(t.SlowChoices())
+	if err != nil {
+		return 0, 0, err
+	}
+	return dmin, dmax, nil
+}
+
+// Constraint converts a delay-penalty fraction p (e.g. 0.05 for the paper's
+// "5% delay penalty") into an absolute delay bound: Dmin + p*(Dmax-Dmin).
+func Constraint(dmin, dmax, penalty float64) float64 {
+	return dmin + penalty*(dmax-dmin)
+}
+
+// gateHeap is a small binary min-heap of gate indexes, giving topological
+// processing order during propagation.
+type gateHeap []int
+
+func (h gateHeap) Len() int { return len(h) }
+
+func (h *gateHeap) push(v int) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*h)[parent] <= (*h)[i] {
+			break
+		}
+		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
+		i = parent
+	}
+}
+
+func (h *gateHeap) pop() int {
+	old := *h
+	top := old[0]
+	last := len(old) - 1
+	old[0] = old[last]
+	*h = old[:last]
+	i, n := 0, last
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*h)[l] < (*h)[small] {
+			small = l
+		}
+		if r < n && (*h)[r] < (*h)[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
+		i = small
+	}
+	return top
+}

@@ -1,0 +1,253 @@
+package sta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"svto/internal/gen"
+	"svto/internal/library"
+	"svto/internal/netlist"
+	"svto/internal/tech"
+)
+
+func testLib(t *testing.T) *library.Library {
+	t.Helper()
+	l, err := library.Cached(tech.Default(), library.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func chainCircuit(t *testing.T, n int) *netlist.Compiled {
+	t.Helper()
+	c := &netlist.Circuit{Name: "chain", Inputs: []string{"a"}, Outputs: []string{}}
+	prev := "a"
+	for i := 0; i < n; i++ {
+		name := netName(i)
+		c.Gates = append(c.Gates, netlist.Gate{Name: name, Op: netlist.OpNot, Fanin: []string{prev}})
+		prev = name
+	}
+	c.Outputs = []string{prev}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func netName(i int) string { return "n" + string(rune('a'+i%26)) + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}
+
+func newTimer(t *testing.T, cc *netlist.Compiled) *Timer {
+	t.Helper()
+	tm, err := New(cc, testLib(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestInverterChainDelayScalesLinearly(t *testing.T) {
+	t10 := newTimer(t, chainCircuit(t, 10))
+	t20 := newTimer(t, chainCircuit(t, 20))
+	d10, err := t10.Analyze(t10.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d20, err := t20.Analyze(t20.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d10 <= 0 {
+		t.Fatalf("chain delay should be positive, got %g", d10)
+	}
+	if r := d20 / d10; r < 1.7 || r > 2.3 {
+		t.Errorf("20-stage/10-stage delay ratio = %.2f, want ~2", r)
+	}
+}
+
+// The paper: replacing every device with its high-Vt + thick-Tox version
+// "nearly doubles" circuit delay.
+func TestAllSlowNearlyDoublesDelay(t *testing.T) {
+	p, err := gen.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := circ.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := newTimer(t, cc)
+	dmin, dmax, err := tm.DelayBounds()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := dmax / dmin; r < 1.6 || r > 2.4 {
+		t.Errorf("Dmax/Dmin = %.2f, want ~2 (paper: 'nearly double')", r)
+	}
+}
+
+func TestConstraint(t *testing.T) {
+	if got := Constraint(100, 200, 0.05); got != 105 {
+		t.Errorf("Constraint(100,200,5%%) = %g, want 105", got)
+	}
+	if got := Constraint(100, 200, 1); got != 200 {
+		t.Errorf("Constraint(100,200,100%%) = %g, want 200", got)
+	}
+	if got := Constraint(100, 200, 0); got != 100 {
+		t.Errorf("Constraint(100,200,0%%) = %g, want 100", got)
+	}
+}
+
+// Incremental updates must agree with a from-scratch analysis after any
+// sequence of choice changes.
+func TestIncrementalMatchesFull(t *testing.T) {
+	p, err := gen.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := p.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := circ.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := newTimer(t, cc)
+	state, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for step := 0; step < 60; step++ {
+		gi := rng.Intn(len(cc.Gates))
+		cell := tm.Cells[gi]
+		st := uint(rng.Intn(cell.Template.NumStates()))
+		chs := cell.Choices[st]
+		ch := &chs[rng.Intn(len(chs))]
+		state.SetChoice(gi, ch)
+
+		choices := make([]*library.Choice, len(cc.Gates))
+		for i := range choices {
+			choices[i] = state.Choice(i)
+		}
+		want, err := tm.Analyze(choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := state.Delay(); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("step %d: incremental delay %.6f != full %.6f", step, got, want)
+		}
+	}
+}
+
+func TestSetChoiceRevert(t *testing.T) {
+	cc := chainCircuit(t, 5)
+	tm := newTimer(t, cc)
+	state, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := state.Delay()
+	cell := tm.Cells[2]
+	orig := state.Choice(2)
+	slow := cell.MinLeakChoice(1)
+	state.SetChoice(2, slow)
+	if state.Delay() <= base {
+		t.Errorf("slowing a chain gate should increase delay: %g vs %g", state.Delay(), base)
+	}
+	state.SetChoice(2, orig)
+	if got := state.Delay(); math.Abs(got-base) > 1e-9 {
+		t.Errorf("revert did not restore delay: %g vs %g", got, base)
+	}
+}
+
+func TestSlowerVersionsNeverFaster(t *testing.T) {
+	cc := chainCircuit(t, 8)
+	tm := newTimer(t, cc)
+	fast, err := tm.Analyze(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := tm.Analyze(tm.SlowChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow <= fast {
+		t.Errorf("all-slow delay %g not above all-fast %g", slow, fast)
+	}
+}
+
+func TestNewRejectsUnmapped(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "x",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"o"},
+		Gates:   []netlist.Gate{{Name: "o", Op: netlist.OpXor, Fanin: []string{"a", "b"}}},
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(cc, testLib(t), DefaultConfig()); err == nil {
+		t.Error("unmapped circuit accepted")
+	}
+}
+
+func TestStateArgumentCheck(t *testing.T) {
+	cc := chainCircuit(t, 3)
+	tm := newTimer(t, cc)
+	if _, err := tm.NewState(nil); err == nil {
+		t.Error("wrong choice count accepted")
+	}
+}
+
+func TestGateHeapOrdering(t *testing.T) {
+	h := &gateHeap{}
+	for _, v := range []int{5, 3, 9, 1, 7, 3, 0} {
+		h.push(v)
+	}
+	prev := -1
+	for h.Len() > 0 {
+		v := h.pop()
+		if v < prev {
+			t.Fatalf("heap popped out of order: %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestArrivalMonotoneAlongChain(t *testing.T) {
+	cc := chainCircuit(t, 6)
+	tm := newTimer(t, cc)
+	state, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, g := range cc.Gates {
+		a := state.Arrival(g.Out)
+		if a <= prev {
+			t.Fatalf("arrival not increasing along chain: %g after %g", a, prev)
+		}
+		prev = a
+	}
+}

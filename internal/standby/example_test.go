@@ -1,0 +1,30 @@
+package standby_test
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+	"svto/internal/standby"
+)
+
+// ExampleWrap inserts sleep-vector gating in front of a small block.
+func ExampleWrap() {
+	circ := &netlist.Circuit{
+		Name:    "blk",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			{Name: "y", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
+		},
+	}
+	wrapped, err := standby.Wrap(circ, []bool{true, false})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("inputs:", wrapped.Inputs)
+	fmt.Printf("gates: %d (overhead %d)\n", len(wrapped.Gates), standby.Overhead(2))
+	// Output:
+	// inputs: [standby a_func b_func]
+	// gates: 6 (overhead 5)
+}

@@ -1,0 +1,90 @@
+// Package standby materializes the sleep-vector application mechanism the
+// paper's flow assumes (reference [1]/[3]: modified sequential elements
+// driving a dedicated sleep vector in standby mode).  Wrap inserts gating
+// logic at every primary input of a combinational block: a new "standby"
+// control input forces each input to its sleep value when asserted and
+// passes the functional value through otherwise.
+//
+// Because the sleep bit per input is a known constant, each input needs
+// only two mapped gates instead of a full mux:
+//
+//	sleep bit 1:  in = OR(standby, func)  = NAND(!standby, !func)
+//	sleep bit 0:  in = AND(!standby,func) = NOR(standby, !func)
+package standby
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+)
+
+// ControlName is the inserted standby-control input.
+const ControlName = "standby"
+
+// Wrap returns a new circuit with sleep-vector gating inserted at every
+// primary input.  The sleep slice must match the circuit's inputs.  The
+// wrapped circuit's inputs are [standby, <orig>_func...]; outputs and the
+// internal logic are unchanged.
+func Wrap(c *netlist.Circuit, sleep []bool) (*netlist.Circuit, error) {
+	if _, err := c.Compile(); err != nil {
+		return nil, err
+	}
+	if len(sleep) != len(c.Inputs) {
+		return nil, fmt.Errorf("standby: %d sleep bits for %d inputs", len(sleep), len(c.Inputs))
+	}
+	used := map[string]bool{ControlName: true}
+	for _, in := range c.Inputs {
+		used[in] = true
+	}
+	for i := range c.Gates {
+		used[c.Gates[i].Name] = true
+	}
+	fresh := func(base string) string {
+		if !used[base] {
+			used[base] = true
+			return base
+		}
+		for i := 0; ; i++ {
+			n := fmt.Sprintf("%s_%d", base, i)
+			if !used[n] {
+				used[n] = true
+				return n
+			}
+		}
+	}
+
+	out := &netlist.Circuit{
+		Name:    c.Name + "_standby",
+		Inputs:  []string{ControlName},
+		Outputs: append([]string(nil), c.Outputs...),
+	}
+	nstandby := fresh("standby_n")
+	out.Gates = append(out.Gates, netlist.Gate{
+		Name: nstandby, Op: netlist.OpNot, Fanin: []string{ControlName},
+	})
+	for i, in := range c.Inputs {
+		funcIn := fresh(in + "_func")
+		out.Inputs = append(out.Inputs, funcIn)
+		nfunc := fresh(in + "_n")
+		out.Gates = append(out.Gates, netlist.Gate{
+			Name: nfunc, Op: netlist.OpNot, Fanin: []string{funcIn},
+		})
+		if sleep[i] {
+			out.Gates = append(out.Gates, netlist.Gate{
+				Name: in, Op: netlist.OpNand, Fanin: []string{nstandby, nfunc},
+			})
+		} else {
+			out.Gates = append(out.Gates, netlist.Gate{
+				Name: in, Op: netlist.OpNor, Fanin: []string{ControlName, nfunc},
+			})
+		}
+	}
+	out.Gates = append(out.Gates, c.Gates...)
+	if _, err := out.Compile(); err != nil {
+		return nil, fmt.Errorf("standby: wrapped circuit invalid: %w", err)
+	}
+	return out, nil
+}
+
+// Overhead reports the gate count added by wrapping.
+func Overhead(inputs int) int { return 1 + 2*inputs }

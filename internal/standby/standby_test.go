@@ -1,0 +1,155 @@
+package standby
+
+import (
+	"testing"
+	"testing/quick"
+
+	"svto/internal/gen"
+	"svto/internal/netlist"
+	"svto/internal/sim"
+)
+
+func tiny() *netlist.Circuit {
+	return &netlist.Circuit{
+		Name:    "tiny",
+		Inputs:  []string{"a", "b", "c"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			{Name: "n1", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
+			{Name: "y", Op: netlist.OpNor, Fanin: []string{"n1", "c"}},
+		},
+	}
+}
+
+func TestWrapFunctionalMode(t *testing.T) {
+	c := tiny()
+	sleep := []bool{true, false, true}
+	w, err := Wrap(c, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// standby=0: wrapped circuit behaves exactly like the original.
+	f := func(raw uint8) bool {
+		in := []bool{raw&1 == 1, raw>>1&1 == 1, raw>>2&1 == 1}
+		vo, err := sim.Eval(cc, in)
+		if err != nil {
+			return false
+		}
+		vw, err := sim.Eval(wc, append([]bool{false}, in...))
+		if err != nil {
+			return false
+		}
+		return vo[cc.NetID["y"]] == vw[wc.NetID["y"]]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWrapStandbyMode(t *testing.T) {
+	c := tiny()
+	sleep := []bool{true, false, true}
+	w, err := Wrap(c, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.Eval(cc, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// standby=1: every original net reaches its sleep-vector value, no
+	// matter what the functional inputs do.
+	for raw := 0; raw < 8; raw++ {
+		in := []bool{true, raw&1 == 1, raw>>1&1 == 1, raw>>2&1 == 1}
+		vw, err := sim.Eval(wc, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, net := range []string{"a", "b", "c", "n1", "y"} {
+			if vw[wc.NetID[net]] != want[cc.NetID[net]] {
+				t.Fatalf("net %s != sleep value for functional inputs %03b", net, raw)
+			}
+		}
+	}
+}
+
+func TestWrapOnBenchmark(t *testing.T) {
+	prof, err := gen.ByName("c880")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := prof.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleep := make([]bool, len(c.Inputs))
+	for i := range sleep {
+		sleep[i] = i%3 == 0
+	}
+	w, err := Wrap(c, sleep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Gates) != len(c.Gates)+Overhead(len(c.Inputs)) {
+		t.Errorf("overhead: got %d gates, want %d", len(w.Gates), len(c.Gates)+Overhead(len(c.Inputs)))
+	}
+	if !w.Mapped() {
+		t.Error("wrapped circuit should stay library-mapped")
+	}
+	// The overhead the paper calls "minimal": ~2 gates per input.
+	if ratio := float64(len(w.Gates)-len(c.Gates)) / float64(len(c.Gates)); ratio > 0.5 {
+		t.Errorf("wrapping overhead ratio %.2f implausible", ratio)
+	}
+}
+
+func TestWrapNameCollisions(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "tricky",
+		Inputs:  []string{"a", "a_func", "standby_n"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			{Name: "y", Op: netlist.OpNand, Fanin: []string{"a", "a_func", "standby_n"}},
+		},
+	}
+	w, err := Wrap(c, []bool{true, true, false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapErrors(t *testing.T) {
+	if _, err := Wrap(tiny(), []bool{true}); err == nil {
+		t.Error("wrong sleep width accepted")
+	}
+	bad := tiny()
+	bad.Gates[0].Fanin[0] = "ghost"
+	if _, err := Wrap(bad, []bool{true, false, true}); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+	// A circuit already using the control name cannot be wrapped.
+	clash := tiny()
+	clash.Inputs[0] = ControlName
+	clash.Gates[0].Fanin[0] = ControlName
+	if _, err := Wrap(clash, []bool{true, false, true}); err == nil {
+		t.Error("control-name collision accepted")
+	}
+}

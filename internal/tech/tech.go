@@ -1,0 +1,240 @@
+// Package tech defines the process-technology description used by every
+// other layer of the system: supply and thermal voltages, the four device
+// corners of a dual-Vt / dual-Tox process ({low,high}-Vt x {thin,thick}-Tox),
+// and the calibration constants of the analytic leakage and delay models.
+//
+// The paper characterized cells with SPICE/BSIM4 in a predictive 65nm
+// process.  This package substitutes that with closed-form models calibrated
+// to the anchors the paper reports:
+//
+//   - gate leakage is ~36% of total leakage at room temperature,
+//   - a thick-Tox NMOS device leaks 11X less Igate than a thin-Tox one,
+//   - a high-Vt NMOS (PMOS) device leaks 17.8X (16.7X) less Isub,
+//   - the fastest NAND2 version leaks ~270nA in input state 11,
+//   - replacing every device with its high-Vt + thick-Tox version roughly
+//     doubles circuit delay.
+//
+// All currents are in nanoamperes (nA), voltages in volts, widths in
+// micrometers, capacitances in femtofarads and times in picoseconds.
+package tech
+
+import "fmt"
+
+// VtClass selects the threshold-voltage flavor of a device.
+type VtClass uint8
+
+const (
+	VtLow  VtClass = iota // fast, leaky threshold
+	VtHigh                // slow, low-Isub threshold
+)
+
+// String returns "lvt" or "hvt".
+func (v VtClass) String() string {
+	if v == VtHigh {
+		return "hvt"
+	}
+	return "lvt"
+}
+
+// ToxClass selects the gate-oxide thickness of a device.
+type ToxClass uint8
+
+const (
+	ToxThin  ToxClass = iota // fast, high-Igate oxide
+	ToxThick                 // slow, low-Igate oxide
+)
+
+// String returns "thin" or "thick".
+func (t ToxClass) String() string {
+	if t == ToxThick {
+		return "thick"
+	}
+	return "thin"
+}
+
+// Corner is a (Vt, Tox) pair: one of the four device flavors available in a
+// dual-Vt, dual-Tox process.
+type Corner struct {
+	Vt  VtClass
+	Tox ToxClass
+}
+
+// Corner constructors for the four process corners.
+var (
+	FastCorner     = Corner{VtLow, ToxThin}   // minimum delay, maximum leakage
+	LowIsubCorner  = Corner{VtHigh, ToxThin}  // suppresses subthreshold leakage
+	LowIgateCorner = Corner{VtLow, ToxThick}  // suppresses gate leakage
+	SlowCorner     = Corner{VtHigh, ToxThick} // both knobs: slowest device
+)
+
+// String returns a compact corner name such as "lvt/thin".
+func (c Corner) String() string { return c.Vt.String() + "/" + c.Tox.String() }
+
+// IsFast reports whether the corner is the all-fast (low-Vt, thin-Tox) one.
+func (c Corner) IsFast() bool { return c == FastCorner }
+
+// DeviceKind distinguishes NMOS from PMOS devices.
+type DeviceKind uint8
+
+const (
+	NMOS DeviceKind = iota
+	PMOS
+)
+
+// String returns "nmos" or "pmos".
+func (k DeviceKind) String() string {
+	if k == PMOS {
+		return "pmos"
+	}
+	return "nmos"
+}
+
+// DeviceParams holds the per-kind (NMOS or PMOS) model constants.
+type DeviceParams struct {
+	// VtLow and VtHigh are the two threshold voltages (V).
+	VtLow, VtHigh float64
+	// Isub0 is the subthreshold current per unit width (nA/um) of a low-Vt
+	// device at Vgs = Vt and large Vds, before DIBL.
+	Isub0 float64
+	// DIBL is the drain-induced barrier lowering coefficient (V/V): the
+	// effective threshold is reduced by DIBL*Vds.
+	DIBL float64
+	// Igate0 is the gate tunneling current per unit width (nA/um) of a
+	// thin-oxide device with both Vgs and Vgd at Vdd.
+	Igate0 float64
+	// IgateThickScale multiplies Igate0 for a thick-oxide device (< 1).
+	IgateThickScale float64
+	// IgateSlope is the exponential voltage sensitivity of tunneling
+	// current (1/V): Igate ~ exp(IgateSlope*(V - Vdd)).
+	IgateSlope float64
+	// OverlapFrac scales reverse (edge-direct) tunneling through the
+	// gate-drain overlap region relative to full channel tunneling.
+	OverlapFrac float64
+	// Ron is the effective switching resistance per unit width
+	// (kOhm*um) of a low-Vt, thin-oxide device.
+	Ron float64
+	// RonHighVt and RonThickTox are multiplicative drive-degradation
+	// factors (> 1) applied to Ron for each slow knob. Both knobs
+	// compound multiplicatively.
+	RonHighVt, RonThickTox float64
+	// Cg is the gate capacitance per unit width (fF/um) of a thin-oxide
+	// device. Thick oxide scales it by CgThickScale.
+	Cg           float64
+	CgThickScale float64
+	// Cd is the drain diffusion capacitance per unit width (fF/um).
+	Cd float64
+}
+
+// Vt returns the threshold voltage for the given Vt class.
+func (p *DeviceParams) Vt(v VtClass) float64 {
+	if v == VtHigh {
+		return p.VtHigh
+	}
+	return p.VtLow
+}
+
+// RonFactor returns the drive degradation multiplier of a corner relative to
+// the fast corner.
+func (p *DeviceParams) RonFactor(c Corner) float64 {
+	f := 1.0
+	if c.Vt == VtHigh {
+		f *= p.RonHighVt
+	}
+	if c.Tox == ToxThick {
+		f *= p.RonThickTox
+	}
+	return f
+}
+
+// GateCap returns the gate capacitance (fF) of a device of width w (um) at
+// the given corner.
+func (p *DeviceParams) GateCap(w float64, c Corner) float64 {
+	cg := p.Cg
+	if c.Tox == ToxThick {
+		cg *= p.CgThickScale
+	}
+	return cg * w
+}
+
+// Params is a complete process description.
+type Params struct {
+	Name string
+	// Vdd is the supply voltage (V).
+	Vdd float64
+	// VThermal is kT/q (V); 0.0259 at 300K. Standby leakage analysis is
+	// performed at room temperature (paper footnote 1).
+	VThermal float64
+	// SubSwing is the subthreshold swing ideality factor n (~1.4-1.6).
+	SubSwing float64
+	// NMOS and PMOS hold the per-kind device constants.
+	NMOS, PMOS DeviceParams
+	// PMOSGateScale scales PMOS gate tunneling relative to the NMOS model.
+	// For standard SiO2 it is ~an order of magnitude below NMOS and the
+	// paper treats it as negligible (0 here); for nitrided oxides it can
+	// reach or exceed 1 (paper section 2). Exposed so the nitrided-oxide
+	// extension can be exercised.
+	PMOSGateScale float64
+}
+
+// Device returns the device parameters for the given kind.
+func (p *Params) Device(k DeviceKind) *DeviceParams {
+	if k == PMOS {
+		return &p.PMOS
+	}
+	return &p.NMOS
+}
+
+// Validate checks internal consistency of the parameter set.
+func (p *Params) Validate() error {
+	switch {
+	case p.Vdd <= 0:
+		return fmt.Errorf("tech %q: Vdd must be positive, got %g", p.Name, p.Vdd)
+	case p.VThermal <= 0:
+		return fmt.Errorf("tech %q: VThermal must be positive, got %g", p.Name, p.VThermal)
+	case p.SubSwing < 1:
+		return fmt.Errorf("tech %q: subthreshold swing factor must be >= 1, got %g", p.Name, p.SubSwing)
+	case p.PMOSGateScale < 0:
+		return fmt.Errorf("tech %q: PMOSGateScale must be >= 0, got %g", p.Name, p.PMOSGateScale)
+	}
+	for _, kd := range []struct {
+		k DeviceKind
+		d *DeviceParams
+	}{{NMOS, &p.NMOS}, {PMOS, &p.PMOS}} {
+		d := kd.d
+		switch {
+		case d.VtLow <= 0 || d.VtHigh <= d.VtLow:
+			return fmt.Errorf("tech %q %s: need 0 < VtLow < VtHigh, got %g, %g", p.Name, kd.k, d.VtLow, d.VtHigh)
+		case d.VtHigh >= p.Vdd:
+			return fmt.Errorf("tech %q %s: VtHigh %g must be below Vdd %g", p.Name, kd.k, d.VtHigh, p.Vdd)
+		case d.Isub0 <= 0 || d.Igate0 < 0:
+			return fmt.Errorf("tech %q %s: nonpositive leakage prefactors", p.Name, kd.k)
+		case d.IgateThickScale <= 0 || d.IgateThickScale >= 1:
+			return fmt.Errorf("tech %q %s: IgateThickScale must be in (0,1), got %g", p.Name, kd.k, d.IgateThickScale)
+		case d.DIBL < 0 || d.DIBL > 0.5:
+			return fmt.Errorf("tech %q %s: DIBL out of range: %g", p.Name, kd.k, d.DIBL)
+		case d.Ron <= 0 || d.RonHighVt < 1 || d.RonThickTox < 1:
+			return fmt.Errorf("tech %q %s: invalid drive parameters", p.Name, kd.k)
+		case d.Cg <= 0 || d.CgThickScale <= 0 || d.Cd < 0:
+			return fmt.Errorf("tech %q %s: invalid capacitance parameters", p.Name, kd.k)
+		case d.OverlapFrac < 0 || d.OverlapFrac > 1:
+			return fmt.Errorf("tech %q %s: OverlapFrac must be in [0,1], got %g", p.Name, kd.k, d.OverlapFrac)
+		case d.IgateSlope <= 0:
+			return fmt.Errorf("tech %q %s: IgateSlope must be positive, got %g", p.Name, kd.k, d.IgateSlope)
+		}
+	}
+	return nil
+}
+
+// SubthresholdReduction returns the Isub reduction factor obtained by moving
+// a device of the given kind from low-Vt to high-Vt (e.g. ~17.8 for NMOS in
+// the calibrated default process).
+func (p *Params) SubthresholdReduction(k DeviceKind) float64 {
+	d := p.Device(k)
+	return expApprox((d.VtHigh - d.VtLow) / (p.SubSwing * p.VThermal))
+}
+
+// GateReduction returns the Igate reduction factor of a thick-oxide device
+// relative to thin oxide (e.g. 11 in the calibrated default process).
+func (p *Params) GateReduction(k DeviceKind) float64 {
+	return 1 / p.Device(k).IgateThickScale
+}

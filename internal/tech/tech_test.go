@@ -1,0 +1,154 @@
+package tech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default process invalid: %v", err)
+	}
+	if err := Nitrided().Validate(); err != nil {
+		t.Fatalf("nitrided process invalid: %v", err)
+	}
+}
+
+func TestCalibrationAnchors(t *testing.T) {
+	p := Default()
+	if got := p.SubthresholdReduction(NMOS); math.Abs(got-17.8) > 0.1 {
+		t.Errorf("NMOS high-Vt Isub reduction = %.2f, want ~17.8", got)
+	}
+	if got := p.SubthresholdReduction(PMOS); math.Abs(got-16.7) > 0.1 {
+		t.Errorf("PMOS high-Vt Isub reduction = %.2f, want ~16.7", got)
+	}
+	if got := p.GateReduction(NMOS); math.Abs(got-11) > 1e-9 {
+		t.Errorf("thick-Tox Igate reduction = %.2f, want 11", got)
+	}
+}
+
+func TestCornerStrings(t *testing.T) {
+	cases := map[Corner]string{
+		FastCorner:     "lvt/thin",
+		LowIsubCorner:  "hvt/thin",
+		LowIgateCorner: "lvt/thick",
+		SlowCorner:     "hvt/thick",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("corner %+v: String() = %q, want %q", c, got, want)
+		}
+	}
+	if !FastCorner.IsFast() {
+		t.Error("FastCorner.IsFast() = false")
+	}
+	if SlowCorner.IsFast() {
+		t.Error("SlowCorner.IsFast() = true")
+	}
+}
+
+func TestDeviceKindString(t *testing.T) {
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Errorf("kind strings wrong: %q %q", NMOS, PMOS)
+	}
+}
+
+func TestRonFactorMonotone(t *testing.T) {
+	p := Default()
+	for _, k := range []DeviceKind{NMOS, PMOS} {
+		d := p.Device(k)
+		fast := d.RonFactor(FastCorner)
+		hvt := d.RonFactor(LowIsubCorner)
+		thick := d.RonFactor(LowIgateCorner)
+		slow := d.RonFactor(SlowCorner)
+		if fast != 1 {
+			t.Errorf("%s: fast corner RonFactor = %g, want 1", k, fast)
+		}
+		if hvt <= fast || thick <= fast || slow <= hvt || slow <= thick {
+			t.Errorf("%s: RonFactor not monotone: fast=%g hvt=%g thick=%g slow=%g", k, fast, hvt, thick, slow)
+		}
+		want := d.RonHighVt * d.RonThickTox
+		if math.Abs(slow-want) > 1e-12 {
+			t.Errorf("%s: slow corner RonFactor = %g, want product %g", k, slow, want)
+		}
+	}
+}
+
+func TestGateCapThickReduces(t *testing.T) {
+	d := Default().Device(NMOS)
+	thin := d.GateCap(2, FastCorner)
+	thick := d.GateCap(2, LowIgateCorner)
+	if thick >= thin {
+		t.Errorf("thick-ox gate cap %g should be below thin %g", thick, thin)
+	}
+	if thin != 2*d.Cg {
+		t.Errorf("thin gate cap = %g, want %g", thin, 2*d.Cg)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero vdd", func(p *Params) { p.Vdd = 0 }},
+		{"negative vdd", func(p *Params) { p.Vdd = -1 }},
+		{"zero thermal", func(p *Params) { p.VThermal = 0 }},
+		{"swing below 1", func(p *Params) { p.SubSwing = 0.5 }},
+		{"vt order", func(p *Params) { p.NMOS.VtHigh = p.NMOS.VtLow }},
+		{"vt above vdd", func(p *Params) { p.PMOS.VtHigh = 2 }},
+		{"zero isub0", func(p *Params) { p.NMOS.Isub0 = 0 }},
+		{"thick scale 1", func(p *Params) { p.NMOS.IgateThickScale = 1 }},
+		{"thick scale 0", func(p *Params) { p.PMOS.IgateThickScale = 0 }},
+		{"dibl", func(p *Params) { p.NMOS.DIBL = 0.9 }},
+		{"ron", func(p *Params) { p.NMOS.Ron = 0 }},
+		{"ron hvt below 1", func(p *Params) { p.PMOS.RonHighVt = 0.5 }},
+		{"cg", func(p *Params) { p.NMOS.Cg = 0 }},
+		{"overlap", func(p *Params) { p.NMOS.OverlapFrac = 2 }},
+		{"igate slope", func(p *Params) { p.PMOS.IgateSlope = 0 }},
+		{"pmos gate scale", func(p *Params) { p.PMOSGateScale = -1 }},
+	}
+	for _, m := range mutations {
+		p := Default()
+		m.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid params", m.name)
+		}
+	}
+}
+
+// Property: for any positive Vt separation, the subthreshold reduction factor
+// equals exp(dVt/(n*vT)) and is > 1.
+func TestSubthresholdReductionProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		d := 0.01 + float64(raw)/400.0 // dVt in (0, ~0.65]
+		p := Default()
+		p.NMOS.VtHigh = p.NMOS.VtLow + d
+		got := p.SubthresholdReduction(NMOS)
+		want := math.Exp(d / (p.SubSwing * p.VThermal))
+		return got > 1 && math.Abs(got-want)/want < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAtTemperature(t *testing.T) {
+	hot := AtTemperature(358) // 85C
+	if err := hot.Validate(); err != nil {
+		t.Fatalf("hot process invalid: %v", err)
+	}
+	cold := AtTemperature(300)
+	if hot.VThermal <= cold.VThermal {
+		t.Error("thermal voltage should grow with temperature")
+	}
+	if hot.NMOS.VtLow >= cold.NMOS.VtLow {
+		t.Error("threshold should drop with temperature")
+	}
+	// The high-Vt Isub reduction factor shrinks as kT/q grows (fixed
+	// Vt separation over a larger denominator).
+	if hot.SubthresholdReduction(NMOS) >= cold.SubthresholdReduction(NMOS) {
+		t.Error("high-Vt leverage should shrink at high temperature")
+	}
+}

@@ -1,0 +1,57 @@
+package techmap_test
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+	"svto/internal/techmap"
+)
+
+// ExampleMap rewrites a generic AND/XOR netlist into library gates.
+func ExampleMap() {
+	circ := &netlist.Circuit{
+		Name:    "ha",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"s", "c"},
+		Gates: []netlist.Gate{
+			{Name: "s", Op: netlist.OpXor, Fanin: []string{"a", "b"}},
+			{Name: "c", Op: netlist.OpAnd, Fanin: []string{"a", "b"}},
+		},
+	}
+	mapped, err := techmap.Map(circ)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st, _ := mapped.Stats()
+	fmt.Printf("gates %d -> %d, NAND2 %d, INV %d, mapped %v\n",
+		len(circ.Gates), len(mapped.Gates), st.ByOp["NAND2"], st.ByOp["INV"], mapped.Mapped())
+	// Output:
+	// gates 2 -> 6, NAND2 5, INV 1, mapped true
+}
+
+// ExampleOptimize fuses an AND feeding an OR into a single AOI21 cell.
+func ExampleOptimize() {
+	circ := &netlist.Circuit{
+		Name:    "aoi",
+		Inputs:  []string{"a", "b", "c"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			{Name: "t", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
+			{Name: "x", Op: netlist.OpNot, Fanin: []string{"t"}},
+			{Name: "u", Op: netlist.OpNor, Fanin: []string{"x", "c"}},
+			{Name: "y", Op: netlist.OpNot, Fanin: []string{"u"}},
+		},
+	}
+	fused, err := techmap.Optimize(circ)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, g := range fused.Gates {
+		fmt.Printf("%s = %s(%v)\n", g.Name, g.Op, g.Fanin)
+	}
+	// Output:
+	// u = AOI21([a b c])
+	// y = NOT([u])
+}

@@ -1,0 +1,214 @@
+package techmap
+
+// Peephole optimization over mapped netlists: fuses inverter/NAND/NOR
+// clusters into the complex AOI/OAI library cells and removes double
+// inverters.  Complex cells implement the same function with fewer
+// transistors and fewer leakage paths, so the pass reduces both area and
+// standby leakage before optimization.
+//
+// Patterns (all fused nets must have a single fan-out and not be primary
+// outputs, so removal is safe):
+//
+//	NOR2(INV(NAND2(a,b)), c)                    -> AOI21(a,b,c)
+//	NAND2(INV(NOR2(a,b)), c)                    -> OAI21(a,b,c)
+//	NOR2(INV(NAND2(a,b)), INV(NAND2(c,d)))      -> AOI22(a,b,c,d)
+//	NAND2(INV(NOR2(a,b)), INV(NOR2(c,d)))       -> OAI22(a,b,c,d)
+//	INV(INV(x))                                 -> rewire readers to x
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+)
+
+// Optimize applies the peephole patterns until a fixpoint and returns a new
+// circuit; the input is not modified.  The result computes the same
+// functions with at most the same gate count.
+func Optimize(c *netlist.Circuit) (*netlist.Circuit, error) {
+	if _, err := c.Compile(); err != nil {
+		return nil, fmt.Errorf("techmap: optimize: %w", err)
+	}
+	cur := cloneCircuit(c)
+	for {
+		next, changed := optimizePass(cur)
+		if !changed {
+			break
+		}
+		cur = next
+	}
+	if _, err := cur.Compile(); err != nil {
+		return nil, fmt.Errorf("techmap: optimize produced invalid circuit: %w", err)
+	}
+	return cur, nil
+}
+
+func cloneCircuit(c *netlist.Circuit) *netlist.Circuit {
+	out := &netlist.Circuit{
+		Name:    c.Name,
+		Inputs:  append([]string(nil), c.Inputs...),
+		Outputs: append([]string(nil), c.Outputs...),
+		Gates:   make([]netlist.Gate, len(c.Gates)),
+	}
+	for i := range c.Gates {
+		out.Gates[i] = netlist.Gate{
+			Name:  c.Gates[i].Name,
+			Op:    c.Gates[i].Op,
+			Fanin: append([]string(nil), c.Gates[i].Fanin...),
+		}
+	}
+	return out
+}
+
+// fusible describes an INV(NAND2)/INV(NOR2) chain ending at net inv.
+type fusible struct {
+	inner netlist.Op // OpNand or OpNor
+	a, b  string     // inner gate fan-ins
+}
+
+func optimizePass(c *netlist.Circuit) (*netlist.Circuit, bool) {
+	gateOf := map[string]*netlist.Gate{}
+	fanout := map[string]int{}
+	isPO := map[string]bool{}
+	for _, o := range c.Outputs {
+		isPO[o] = true
+	}
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		gateOf[g.Name] = g
+		for _, in := range g.Fanin {
+			fanout[in]++
+		}
+	}
+	// removable reports whether net's driving gate can be absorbed.
+	removable := func(net string) bool {
+		return !isPO[net] && fanout[net] == 1 && gateOf[net] != nil
+	}
+	// fuseLeg recognizes net = INV(x) with x = NAND2/NOR2(a,b), both
+	// single-fanout internal nets.
+	fuseLeg := func(net string) *fusible {
+		if !removable(net) {
+			return nil
+		}
+		inv := gateOf[net]
+		if inv.Op != netlist.OpNot {
+			return nil
+		}
+		if !removable(inv.Fanin[0]) {
+			return nil
+		}
+		inner := gateOf[inv.Fanin[0]]
+		if (inner.Op != netlist.OpNand && inner.Op != netlist.OpNor) || len(inner.Fanin) != 2 {
+			return nil
+		}
+		return &fusible{inner: inner.Op, a: inner.Fanin[0], b: inner.Fanin[1]}
+	}
+
+	removed := map[string]bool{}
+	rewired := map[string]string{} // old net -> replacement
+	changed := false
+
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		if removed[g.Name] {
+			continue
+		}
+		switch {
+		case g.Op == netlist.OpNot && removable(g.Fanin[0]) && gateOf[g.Fanin[0]].Op == netlist.OpNot:
+			// INV(INV(x)): drop both, rewire readers of g.Name to x.
+			// Restricted to single-fanout outer nets so the fan-out
+			// bookkeeping this pass relies on stays conservative.
+			if !removable(g.Name) {
+				break
+			}
+			inner := gateOf[g.Fanin[0]]
+			rewired[g.Name] = inner.Fanin[0]
+			removed[g.Name] = true
+			removed[inner.Name] = true
+			changed = true
+		case g.Op == netlist.OpNor && len(g.Fanin) == 2:
+			l0, l1 := fuseLeg(g.Fanin[0]), fuseLeg(g.Fanin[1])
+			switch {
+			case l0 != nil && l0.inner == netlist.OpNand && l1 != nil && l1.inner == netlist.OpNand &&
+				distinct(l0.a, l0.b, l1.a, l1.b):
+				absorb(g, gateOf, removed, g.Fanin[0], g.Fanin[1])
+				g.Op = netlist.OpAoi22
+				g.Fanin = []string{l0.a, l0.b, l1.a, l1.b}
+				changed = true
+			case l0 != nil && l0.inner == netlist.OpNand && distinct(l0.a, l0.b, g.Fanin[1]):
+				absorb(g, gateOf, removed, g.Fanin[0])
+				g.Fanin = []string{l0.a, l0.b, g.Fanin[1]}
+				g.Op = netlist.OpAoi21
+				changed = true
+			case l1 != nil && l1.inner == netlist.OpNand && distinct(l1.a, l1.b, g.Fanin[0]):
+				absorb(g, gateOf, removed, g.Fanin[1])
+				g.Fanin = []string{l1.a, l1.b, g.Fanin[0]}
+				g.Op = netlist.OpAoi21
+				changed = true
+			}
+		case g.Op == netlist.OpNand && len(g.Fanin) == 2:
+			l0, l1 := fuseLeg(g.Fanin[0]), fuseLeg(g.Fanin[1])
+			switch {
+			case l0 != nil && l0.inner == netlist.OpNor && l1 != nil && l1.inner == netlist.OpNor &&
+				distinct(l0.a, l0.b, l1.a, l1.b):
+				absorb(g, gateOf, removed, g.Fanin[0], g.Fanin[1])
+				g.Op = netlist.OpOai22
+				g.Fanin = []string{l0.a, l0.b, l1.a, l1.b}
+				changed = true
+			case l0 != nil && l0.inner == netlist.OpNor && distinct(l0.a, l0.b, g.Fanin[1]):
+				absorb(g, gateOf, removed, g.Fanin[0])
+				g.Fanin = []string{l0.a, l0.b, g.Fanin[1]}
+				g.Op = netlist.OpOai21
+				changed = true
+			case l1 != nil && l1.inner == netlist.OpNor && distinct(l1.a, l1.b, g.Fanin[0]):
+				absorb(g, gateOf, removed, g.Fanin[1])
+				g.Fanin = []string{l1.a, l1.b, g.Fanin[0]}
+				g.Op = netlist.OpOai21
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		return c, false
+	}
+
+	out := &netlist.Circuit{
+		Name:    c.Name,
+		Inputs:  c.Inputs,
+		Outputs: c.Outputs,
+	}
+	for i := range c.Gates {
+		g := c.Gates[i]
+		if removed[g.Name] {
+			continue
+		}
+		for k, in := range g.Fanin {
+			if r, ok := rewired[in]; ok {
+				g.Fanin[k] = r
+			}
+		}
+		out.Gates = append(out.Gates, g)
+	}
+	return out, true
+}
+
+// absorb marks the inverter chains feeding the given nets as removed.
+func absorb(g *netlist.Gate, gateOf map[string]*netlist.Gate, removed map[string]bool, nets ...string) {
+	for _, net := range nets {
+		inv := gateOf[net]
+		removed[inv.Name] = true
+		removed[gateOf[inv.Fanin[0]].Name] = true
+	}
+}
+
+// distinct reports whether all names are pairwise different (library gates
+// reject duplicated fan-ins).
+func distinct(names ...string) bool {
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return false
+		}
+		seen[n] = true
+	}
+	return true
+}

@@ -1,0 +1,162 @@
+package techmap
+
+import (
+	"testing"
+
+	"svto/internal/netlist"
+)
+
+func optimizeAndCheck(t *testing.T, c *netlist.Circuit) *netlist.Circuit {
+	t.Helper()
+	o, err := Optimize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.Mapped() {
+		t.Fatal("optimized circuit not mapped")
+	}
+	if len(o.Gates) > len(c.Gates) {
+		t.Fatalf("optimization grew the circuit: %d -> %d", len(c.Gates), len(o.Gates))
+	}
+	equivalent(t, c, o)
+	return o
+}
+
+func TestOptimizeAOI21(t *testing.T) {
+	// OR(AND(a,b), c) mapped by hand: the classic AOI21 fusion seed.
+	c := &netlist.Circuit{
+		Name:    "aoi",
+		Inputs:  []string{"a", "b", "cc"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			gate("t", netlist.OpNand, "a", "b"),
+			gate("x", netlist.OpNot, "t"),
+			gate("u", netlist.OpNor, "x", "cc"),
+			gate("y", netlist.OpNot, "u"),
+		},
+	}
+	o := optimizeAndCheck(t, c)
+	st, err := o.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ByOp["AOI21"] != 1 {
+		t.Errorf("expected one AOI21, got %v", st.ByOp)
+	}
+	if len(o.Gates) != 2 { // AOI21 + output inverter
+		t.Errorf("expected 2 gates after fusion, got %d", len(o.Gates))
+	}
+}
+
+func TestOptimizeOAI21(t *testing.T) {
+	// AND(OR(a,b), c) inverted: NAND(INV(NOR(a,b)), c).
+	c := &netlist.Circuit{
+		Name:    "oai",
+		Inputs:  []string{"a", "b", "cc"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			gate("t", netlist.OpNor, "a", "b"),
+			gate("x", netlist.OpNot, "t"),
+			gate("y", netlist.OpNand, "x", "cc"),
+		},
+	}
+	o := optimizeAndCheck(t, c)
+	st, _ := o.Stats()
+	if st.ByOp["OAI21"] != 1 || len(o.Gates) != 1 {
+		t.Errorf("expected a single OAI21, got %v", st.ByOp)
+	}
+}
+
+func TestOptimizeAOI22AndOAI22(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "x22",
+		Inputs:  []string{"a", "b", "cc", "d", "e", "f", "g", "h"},
+		Outputs: []string{"y", "z"},
+		Gates: []netlist.Gate{
+			gate("t1", netlist.OpNand, "a", "b"),
+			gate("x1", netlist.OpNot, "t1"),
+			gate("t2", netlist.OpNand, "cc", "d"),
+			gate("x2", netlist.OpNot, "t2"),
+			gate("y", netlist.OpNor, "x1", "x2"),
+			gate("t3", netlist.OpNor, "e", "f"),
+			gate("x3", netlist.OpNot, "t3"),
+			gate("t4", netlist.OpNor, "g", "h"),
+			gate("x4", netlist.OpNot, "t4"),
+			gate("z", netlist.OpNand, "x3", "x4"),
+		},
+	}
+	o := optimizeAndCheck(t, c)
+	st, _ := o.Stats()
+	if st.ByOp["AOI22"] != 1 || st.ByOp["OAI22"] != 1 || len(o.Gates) != 2 {
+		t.Errorf("expected AOI22+OAI22 only, got %v", st.ByOp)
+	}
+}
+
+func TestOptimizeDoubleInverter(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "dinv",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			gate("n1", netlist.OpNand, "a", "b"),
+			gate("x1", netlist.OpNot, "n1"),
+			gate("x2", netlist.OpNot, "x1"),
+			gate("y", netlist.OpNand, "x2", "a"),
+		},
+	}
+	o := optimizeAndCheck(t, c)
+	if len(o.Gates) != 2 {
+		t.Errorf("double inverter not removed: %d gates", len(o.Gates))
+	}
+}
+
+func TestOptimizeRespectsFanoutAndPO(t *testing.T) {
+	// The inverter output is also a primary output: fusion must not
+	// remove it.
+	c := &netlist.Circuit{
+		Name:    "po",
+		Inputs:  []string{"a", "b", "cc"},
+		Outputs: []string{"y", "x"},
+		Gates: []netlist.Gate{
+			gate("t", netlist.OpNand, "a", "b"),
+			gate("x", netlist.OpNot, "t"),
+			gate("y", netlist.OpNor, "x", "cc"),
+		},
+	}
+	o := optimizeAndCheck(t, c)
+	if len(o.Gates) != 3 {
+		t.Errorf("PO-feeding inverter must survive: %d gates", len(o.Gates))
+	}
+	// Multi-fanout inverter: same story.
+	c2 := &netlist.Circuit{
+		Name:    "fan",
+		Inputs:  []string{"a", "b", "cc"},
+		Outputs: []string{"y", "z"},
+		Gates: []netlist.Gate{
+			gate("t", netlist.OpNand, "a", "b"),
+			gate("x", netlist.OpNot, "t"),
+			gate("y", netlist.OpNor, "x", "cc"),
+			gate("z", netlist.OpNand, "x", "cc"),
+		},
+	}
+	o2 := optimizeAndCheck(t, c2)
+	if len(o2.Gates) != 4 {
+		t.Errorf("shared inverter must survive: %d gates", len(o2.Gates))
+	}
+}
+
+func TestOptimizeDuplicateFaninGuard(t *testing.T) {
+	// Fusing would duplicate fan-in "cc" on the AOI21; the pass must
+	// leave the structure alone.
+	c := &netlist.Circuit{
+		Name:    "dup",
+		Inputs:  []string{"a", "cc"},
+		Outputs: []string{"y"},
+		Gates: []netlist.Gate{
+			gate("t", netlist.OpNand, "a", "cc"),
+			gate("x", netlist.OpNot, "t"),
+			gate("y", netlist.OpNor, "x", "cc"),
+		},
+	}
+	optimizeAndCheck(t, c)
+}

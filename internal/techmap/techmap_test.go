@@ -1,0 +1,188 @@
+package techmap
+
+import (
+	"testing"
+
+	"svto/internal/netlist"
+	"svto/internal/sim"
+)
+
+// equivalent exhaustively (or randomly, for wide inputs) checks functional
+// equivalence of two circuits with identical PI/PO names.
+func equivalent(t *testing.T, a, b *netlist.Circuit) {
+	t.Helper()
+	ca, err := a.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := b.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.PI) != len(cb.PI) {
+		t.Fatalf("PI count differs: %d vs %d", len(ca.PI), len(cb.PI))
+	}
+	n := len(ca.PI)
+	var vectors [][]bool
+	if n <= 12 {
+		for v := 0; v < 1<<n; v++ {
+			vec := make([]bool, n)
+			for i := 0; i < n; i++ {
+				vec[i] = v>>i&1 == 1
+			}
+			vectors = append(vectors, vec)
+		}
+	} else {
+		vectors = sim.RandomVectors(7, n, 2000)
+	}
+	for _, vec := range vectors {
+		va, err := sim.Eval(ca, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := sim.Eval(cb, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, po := range a.Outputs {
+			if va[ca.NetID[po]] != vb[cb.NetID[po]] {
+				t.Fatalf("output %q differs for input %v", po, vec)
+			}
+		}
+	}
+}
+
+func mapAndCheck(t *testing.T, c *netlist.Circuit) *netlist.Circuit {
+	t.Helper()
+	m, err := Map(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Mapped() {
+		t.Fatalf("result not mapped: %s", m)
+	}
+	equivalent(t, c, m)
+	return m
+}
+
+func gate(name string, op netlist.Op, fanin ...string) netlist.Gate {
+	return netlist.Gate{Name: name, Op: op, Fanin: fanin}
+}
+
+func TestMapPassthrough(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "pass",
+		Inputs:  []string{"a", "b", "c"},
+		Outputs: []string{"x", "y", "z"},
+		Gates: []netlist.Gate{
+			gate("x", netlist.OpNand, "a", "b"),
+			gate("y", netlist.OpNot, "x"),
+			gate("z", netlist.OpAoi21, "a", "b", "c"),
+		},
+	}
+	m := mapAndCheck(t, c)
+	if len(m.Gates) != 3 {
+		t.Errorf("passthrough should not add gates, got %d", len(m.Gates))
+	}
+}
+
+func TestMapAndOrBuf(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "andor",
+		Inputs:  []string{"a", "b", "c", "d"},
+		Outputs: []string{"x", "y", "z"},
+		Gates: []netlist.Gate{
+			gate("x", netlist.OpAnd, "a", "b", "c"),
+			gate("y", netlist.OpOr, "c", "d"),
+			gate("z", netlist.OpBuf, "x"),
+		},
+	}
+	mapAndCheck(t, c)
+}
+
+func TestMapXorXnor(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "xors",
+		Inputs:  []string{"a", "b", "c", "d"},
+		Outputs: []string{"x", "y", "z"},
+		Gates: []netlist.Gate{
+			gate("x", netlist.OpXor, "a", "b"),
+			gate("y", netlist.OpXnor, "a", "b"),
+			gate("z", netlist.OpXor, "a", "b", "c", "d"),
+		},
+	}
+	m := mapAndCheck(t, c)
+	// XOR2 is 4 NAND2s.
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ByOp["NAND2"] < 4 {
+		t.Errorf("expected 4-NAND XOR decomposition, got %v", st.ByOp)
+	}
+}
+
+func TestMapWideGates(t *testing.T) {
+	ins := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	c := &netlist.Circuit{
+		Name:    "wide",
+		Inputs:  ins,
+		Outputs: []string{"w", "x", "y", "z"},
+		Gates: []netlist.Gate{
+			gate("w", netlist.OpNand, ins...),
+			gate("x", netlist.OpNor, ins[:6]...),
+			gate("y", netlist.OpAnd, ins[:5]...),
+			gate("z", netlist.OpOr, ins[:7]...),
+		},
+	}
+	m := mapAndCheck(t, c)
+	// Every mapped gate respects the library fan-in limit.
+	for i := range m.Gates {
+		if len(m.Gates[i].Fanin) > MaxFanin {
+			t.Errorf("gate %q exceeds max fan-in: %d", m.Gates[i].Name, len(m.Gates[i].Fanin))
+		}
+	}
+}
+
+func TestMapRejectsInvalid(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "bad",
+		Inputs:  []string{"a"},
+		Outputs: []string{"x"},
+		Gates:   []netlist.Gate{gate("x", netlist.OpNot, "ghost")},
+	}
+	if _, err := Map(c); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
+
+func TestMapPreservesInterface(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "iface",
+		Inputs:  []string{"p", "q"},
+		Outputs: []string{"r"},
+		Gates:   []netlist.Gate{gate("r", netlist.OpXnor, "p", "q")},
+	}
+	m := mapAndCheck(t, c)
+	if m.Inputs[0] != "p" || m.Inputs[1] != "q" || m.Outputs[0] != "r" {
+		t.Errorf("interface changed: %v %v", m.Inputs, m.Outputs)
+	}
+	if m.Name != "iface" {
+		t.Errorf("name changed: %q", m.Name)
+	}
+}
+
+func TestMapDeepChain(t *testing.T) {
+	// A chain of mixed ops exercising name collisions with _m suffixes.
+	c := &netlist.Circuit{
+		Name:    "chain",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"out"},
+		Gates: []netlist.Gate{
+			gate("t_m0", netlist.OpAnd, "a", "b"), // name collides with mapper scheme
+			gate("t", netlist.OpOr, "t_m0", "a"),
+			gate("out", netlist.OpXor, "t", "b"),
+		},
+	}
+	mapAndCheck(t, c)
+}

@@ -1,0 +1,170 @@
+package variation
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"svto/internal/core"
+	"svto/internal/gen"
+	"svto/internal/library"
+	"svto/internal/sta"
+	"svto/internal/tech"
+)
+
+func solved(t *testing.T) (*core.Problem, *core.Solution) {
+	t.Helper()
+	prof, err := gen.ByName("c432")
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := prof.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := library.Cached(tech.Default(), library.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewProblem(circ, lib, sta.DefaultConfig(), core.ObjTotal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := p.Heuristic1(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, sol
+}
+
+func TestZeroSigmaIsNominal(t *testing.T) {
+	p, sol := solved(t)
+	m := Model{SigmaVtMV: 0, SigmaIgate: 0, GlobalFrac: 0.5, Seed: 1}
+	st, err := MonteCarlo(p, sol, m, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Mean-sol.Leak) > 1e-6 || st.Std > 1e-9 {
+		t.Errorf("zero-sigma mean %.3f std %.3f, want nominal %.3f and 0", st.Mean, st.Std, sol.Leak)
+	}
+	if math.Abs(st.Nominal-sol.Leak) > 1e-6 {
+		t.Errorf("nominal %.3f != solution leak %.3f", st.Nominal, sol.Leak)
+	}
+}
+
+// Jensen's inequality: with Vt variation the population mean exceeds the
+// nominal corner (exp is convex).
+func TestMeanExceedsNominal(t *testing.T) {
+	p, sol := solved(t)
+	st, err := MonteCarlo(p, sol, DefaultModel(), 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Mean <= st.Nominal {
+		t.Errorf("mean %.2f should exceed nominal %.2f under variation", st.Mean, st.Nominal)
+	}
+	if st.MeanToNominal < 1.1 || st.MeanToNominal > 4 {
+		t.Errorf("mean/nominal = %.2f outside plausible band", st.MeanToNominal)
+	}
+	if !(st.Min <= st.P50 && st.P50 <= st.P95 && st.P95 <= st.P99 && st.P99 <= st.Max) {
+		t.Error("percentiles not ordered")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	p, sol := solved(t)
+	a, err := MonteCarlo(p, sol, DefaultModel(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(p, sol, DefaultModel(), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean || a.P95 != b.P95 {
+		t.Error("same seed produced different statistics")
+	}
+	m2 := DefaultModel()
+	m2.Seed = 2
+	c, err := MonteCarlo(p, sol, m2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Mean == a.Mean {
+		t.Error("different seeds produced identical statistics")
+	}
+}
+
+func TestLargerSigmaWidensSpread(t *testing.T) {
+	p, sol := solved(t)
+	small := DefaultModel()
+	small.SigmaVtMV = 10
+	big := DefaultModel()
+	big.SigmaVtMV = 50
+	a, err := MonteCarlo(p, sol, small, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(p, sol, big, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Std <= a.Std {
+		t.Errorf("sigma 50mV std %.2f should exceed 10mV std %.2f", b.Std, a.Std)
+	}
+	if b.Mean <= a.Mean {
+		t.Errorf("larger sigma should raise the mean: %.2f vs %.2f", b.Mean, a.Mean)
+	}
+}
+
+func TestGlobalCorrelationWidensSpread(t *testing.T) {
+	p, sol := solved(t)
+	local := DefaultModel()
+	local.GlobalFrac = 0
+	global := DefaultModel()
+	global.GlobalFrac = 1
+	a, err := MonteCarlo(p, sol, local, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(p, sol, global, 1500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Purely local variation averages out across hundreds of gates;
+	// fully global variation does not.
+	if b.Std <= a.Std {
+		t.Errorf("global std %.2f should exceed local std %.2f", b.Std, a.Std)
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	p, sol := solved(t)
+	bad := []Model{
+		{SigmaVtMV: -1},
+		{SigmaIgate: -1},
+		{GlobalFrac: 2},
+	}
+	for i, m := range bad {
+		if _, err := MonteCarlo(p, sol, m, 10); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+	if _, err := MonteCarlo(p, sol, DefaultModel(), 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	p, sol := solved(t)
+	st, err := MonteCarlo(p, sol, DefaultModel(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := st.Format()
+	for _, want := range []string{"nominal", "mean", "p95", "µA"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("format missing %q", want)
+		}
+	}
+}

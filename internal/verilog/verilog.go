@@ -1,0 +1,387 @@
+// Package verilog reads and writes gate-level structural Verilog — the
+// other common distribution format for the ISCAS benchmark circuits.  The
+// subset covers what the netlist layer models: one module, scalar ports,
+// wire declarations, Verilog gate primitives (and/or/nand/nor/xor/xnor/
+// not/buf, output-first positional connections) and named-port instances of
+// the complex library cells (AOI21/OAI21 with pins A, B, C and output Y).
+package verilog
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"svto/internal/netlist"
+)
+
+// primitives maps verilog gate primitives to netlist ops.
+var primitives = map[string]netlist.Op{
+	"not": netlist.OpNot, "buf": netlist.OpBuf,
+	"and": netlist.OpAnd, "or": netlist.OpOr,
+	"nand": netlist.OpNand, "nor": netlist.OpNor,
+	"xor": netlist.OpXor, "xnor": netlist.OpXnor,
+}
+
+// primitiveName is the inverse mapping for the writer.
+func primitiveName(op netlist.Op) string {
+	for name, o := range primitives {
+		if o == op {
+			return name
+		}
+	}
+	return ""
+}
+
+// Write emits the circuit as a structural Verilog module.
+func Write(w io.Writer, c *netlist.Circuit) error {
+	if _, err := c.Compile(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "// %s: %d inputs, %d outputs, %d gates\n", c.Name, len(c.Inputs), len(c.Outputs), len(c.Gates))
+	ports := append(append([]string(nil), c.Inputs...), c.Outputs...)
+	fmt.Fprintf(bw, "module %s (%s);\n", sanitize(c.Name), joinSanitized(ports))
+	fmt.Fprintf(bw, "  input %s;\n", joinSanitized(c.Inputs))
+	fmt.Fprintf(bw, "  output %s;\n", joinSanitized(c.Outputs))
+
+	isPort := map[string]bool{}
+	for _, p := range ports {
+		isPort[p] = true
+	}
+	var wires []string
+	for i := range c.Gates {
+		if !isPort[c.Gates[i].Name] {
+			wires = append(wires, c.Gates[i].Name)
+		}
+	}
+	if len(wires) > 0 {
+		fmt.Fprintf(bw, "  wire %s;\n", joinSanitized(wires))
+	}
+	fmt.Fprintln(bw)
+	for i := range c.Gates {
+		g := &c.Gates[i]
+		inst := fmt.Sprintf("g%d", i)
+		switch g.Op {
+		case netlist.OpAoi21, netlist.OpOai21:
+			fmt.Fprintf(bw, "  %s %s (.Y(%s), .A(%s), .B(%s), .C(%s));\n",
+				g.Op, inst, sanitize(g.Name),
+				sanitize(g.Fanin[0]), sanitize(g.Fanin[1]), sanitize(g.Fanin[2]))
+		case netlist.OpAoi22, netlist.OpOai22:
+			fmt.Fprintf(bw, "  %s %s (.Y(%s), .A(%s), .B(%s), .C(%s), .D(%s));\n",
+				g.Op, inst, sanitize(g.Name),
+				sanitize(g.Fanin[0]), sanitize(g.Fanin[1]), sanitize(g.Fanin[2]), sanitize(g.Fanin[3]))
+		default:
+			prim := primitiveName(g.Op)
+			if prim == "" {
+				return fmt.Errorf("verilog: gate %q: no primitive for op %s", g.Name, g.Op)
+			}
+			args := make([]string, 0, len(g.Fanin)+1)
+			args = append(args, sanitize(g.Name))
+			for _, in := range g.Fanin {
+				args = append(args, sanitize(in))
+			}
+			fmt.Fprintf(bw, "  %s %s (%s);\n", prim, inst, strings.Join(args, ", "))
+		}
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// sanitize escapes identifiers that are not plain verilog identifiers.
+func sanitize(name string) string {
+	plain := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' ||
+			(i > 0 && (c >= '0' && c <= '9' || c == '$'))
+		if !ok {
+			plain = false
+			break
+		}
+	}
+	if plain && name != "" {
+		return name
+	}
+	return `\` + name + ` ` // escaped identifier (trailing space required)
+}
+
+func joinSanitized(names []string) string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = sanitize(n)
+	}
+	return strings.Join(out, ", ")
+}
+
+// Read parses a structural Verilog module into a circuit.
+func Read(r io.Reader, fallbackName string) (*netlist.Circuit, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	toks, err := tokenize(string(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &vparser{toks: toks}
+	c, err := p.parseModule()
+	if err != nil {
+		return nil, err
+	}
+	if c.Name == "" {
+		c.Name = fallbackName
+	}
+	if _, err := c.Compile(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// tokenize splits the source into identifiers and punctuation, dropping
+// comments.
+func tokenize(src string) ([]string, error) {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("verilog: unterminated block comment")
+			}
+			i += end + 4
+		case c == '\\': // escaped identifier, up to whitespace
+			j := i + 1
+			for j < len(src) && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != '\r' {
+				j++
+			}
+			toks = append(toks, src[i+1:j])
+			i = j
+		case isVIdent(c):
+			j := i
+			for j < len(src) && isVIdent(src[j]) {
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		case strings.ContainsRune("();,.", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		default:
+			return nil, fmt.Errorf("verilog: unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isVIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+		c >= '0' && c <= '9' || c == '_' || c == '$'
+}
+
+type vparser struct {
+	toks []string
+	pos  int
+}
+
+func (p *vparser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *vparser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vparser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("verilog: expected %q, found %q", t, got)
+	}
+	return nil
+}
+
+// nameList parses "a, b, c ;" (already positioned after the keyword).
+func (p *vparser) nameList() ([]string, error) {
+	var names []string
+	for {
+		n := p.next()
+		if n == "" || n == ";" || n == ")" {
+			return nil, fmt.Errorf("verilog: expected identifier in list")
+		}
+		names = append(names, n)
+		switch p.peek() {
+		case ",":
+			p.next()
+		case ";":
+			p.next()
+			return names, nil
+		default:
+			return nil, fmt.Errorf("verilog: expected ',' or ';' in list, found %q", p.peek())
+		}
+	}
+}
+
+func (p *vparser) parseModule() (*netlist.Circuit, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	c := &netlist.Circuit{Name: p.next()}
+	if c.Name == "" {
+		return nil, fmt.Errorf("verilog: missing module name")
+	}
+	// Port list (names only; directions come from input/output decls).
+	if p.peek() == "(" {
+		p.next()
+		for p.peek() != ")" {
+			if p.peek() == "" {
+				return nil, fmt.Errorf("verilog: unterminated port list")
+			}
+			if t := p.next(); t != "," {
+				_ = t // port name; directions declared later
+			}
+		}
+		p.next() // ')'
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+
+	for {
+		switch kw := p.next(); kw {
+		case "endmodule":
+			return c, nil
+		case "":
+			return nil, fmt.Errorf("verilog: missing endmodule")
+		case "input":
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			c.Inputs = append(c.Inputs, names...)
+		case "output":
+			names, err := p.nameList()
+			if err != nil {
+				return nil, err
+			}
+			c.Outputs = append(c.Outputs, names...)
+		case "wire":
+			if _, err := p.nameList(); err != nil {
+				return nil, err
+			}
+		case "AOI21", "OAI21", "AOI22", "OAI22":
+			ops := map[string]netlist.Op{
+				"AOI21": netlist.OpAoi21, "OAI21": netlist.OpOai21,
+				"AOI22": netlist.OpAoi22, "OAI22": netlist.OpOai22,
+			}
+			g, err := p.parseNamedInstance(ops[kw])
+			if err != nil {
+				return nil, err
+			}
+			c.Gates = append(c.Gates, g)
+		default:
+			op, ok := primitives[kw]
+			if !ok {
+				return nil, fmt.Errorf("verilog: unsupported construct %q", kw)
+			}
+			g, err := p.parsePrimitive(op)
+			if err != nil {
+				return nil, err
+			}
+			c.Gates = append(c.Gates, g)
+		}
+	}
+}
+
+// parsePrimitive parses "name (out, in1, in2, ...);".
+func (p *vparser) parsePrimitive(op netlist.Op) (netlist.Gate, error) {
+	_ = p.next() // instance name (ignored)
+	if err := p.expect("("); err != nil {
+		return netlist.Gate{}, err
+	}
+	var nets []string
+	for {
+		n := p.next()
+		if n == "" || n == "," || n == ")" {
+			return netlist.Gate{}, fmt.Errorf("verilog: malformed primitive connection")
+		}
+		nets = append(nets, n)
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return netlist.Gate{}, err
+	}
+	if err := p.expect(";"); err != nil {
+		return netlist.Gate{}, err
+	}
+	if len(nets) < 2 {
+		return netlist.Gate{}, fmt.Errorf("verilog: primitive needs an output and at least one input")
+	}
+	return netlist.Gate{Name: nets[0], Op: op, Fanin: nets[1:]}, nil
+}
+
+// parseNamedInstance parses "CELL name (.Y(out), .A(a), .B(b), .C(c));".
+func (p *vparser) parseNamedInstance(op netlist.Op) (netlist.Gate, error) {
+	_ = p.next() // instance name
+	if err := p.expect("("); err != nil {
+		return netlist.Gate{}, err
+	}
+	conns := map[string]string{}
+	for {
+		if err := p.expect("."); err != nil {
+			return netlist.Gate{}, err
+		}
+		port := p.next()
+		if err := p.expect("("); err != nil {
+			return netlist.Gate{}, err
+		}
+		net := p.next()
+		if err := p.expect(")"); err != nil {
+			return netlist.Gate{}, err
+		}
+		if _, dup := conns[port]; dup {
+			return netlist.Gate{}, fmt.Errorf("verilog: duplicate port %q", port)
+		}
+		conns[port] = net
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return netlist.Gate{}, err
+	}
+	if err := p.expect(";"); err != nil {
+		return netlist.Gate{}, err
+	}
+	ports := []string{"Y", "A", "B", "C"}
+	if op == netlist.OpAoi22 || op == netlist.OpOai22 {
+		ports = append(ports, "D")
+	}
+	fanin := make([]string, 0, len(ports)-1)
+	for _, port := range ports {
+		if conns[port] == "" {
+			return netlist.Gate{}, fmt.Errorf("verilog: missing port %q on complex cell", port)
+		}
+		if port != "Y" {
+			fanin = append(fanin, conns[port])
+		}
+	}
+	return netlist.Gate{Name: conns["Y"], Op: op, Fanin: fanin}, nil
+}

@@ -1,0 +1,195 @@
+package verilog
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"svto/internal/gen"
+	"svto/internal/netlist"
+	"svto/internal/sim"
+)
+
+func tiny() *netlist.Circuit {
+	return &netlist.Circuit{
+		Name:    "tiny",
+		Inputs:  []string{"a", "b", "c"},
+		Outputs: []string{"y", "z"},
+		Gates: []netlist.Gate{
+			{Name: "n1", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
+			{Name: "y", Op: netlist.OpNot, Fanin: []string{"n1"}},
+			{Name: "z", Op: netlist.OpAoi21, Fanin: []string{"a", "n1", "c"}},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := tiny()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "tiny" || len(back.Inputs) != 3 || len(back.Outputs) != 2 || len(back.Gates) != 3 {
+		t.Fatalf("structure lost: %s", back)
+	}
+	// Functional equivalence over all 8 input vectors.
+	ca, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := back.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 8; v++ {
+		vec := []bool{v&1 == 1, v>>1&1 == 1, v>>2&1 == 1}
+		va, err := sim.Eval(ca, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := sim.Eval(cb, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, po := range c.Outputs {
+			if va[ca.NetID[po]] != vb[cb.NetID[po]] {
+				t.Fatalf("output %s differs for vector %03b", po, v)
+			}
+		}
+	}
+}
+
+func TestRoundTripBenchmark(t *testing.T) {
+	prof, err := gen.ByName("c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := prof.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "c499")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Gates) != len(c.Gates) || len(back.Inputs) != len(c.Inputs) {
+		t.Fatalf("benchmark structure lost: %d/%d gates, %d/%d inputs",
+			len(back.Gates), len(c.Gates), len(back.Inputs), len(c.Inputs))
+	}
+	ca, _ := c.Compile()
+	cb, _ := back.Compile()
+	for _, vec := range sim.RandomVectors(5, len(c.Inputs), 50) {
+		va, err := sim.Eval(ca, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := sim.Eval(cb, vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, po := range c.Outputs {
+			if va[ca.NetID[po]] != vb[cb.NetID[po]] {
+				t.Fatal("benchmark round trip not equivalent")
+			}
+		}
+	}
+}
+
+func TestReadHandwritten(t *testing.T) {
+	src := `// hand-written
+module half_adder (a, b, s, cout);
+  input a, b;
+  output s, cout;
+  wire n1, n2, n3, nc;
+
+  nand u1 (n1, a, b);
+  nand u2 (n2, a, n1);
+  nand u3 (n3, b, n1);
+  nand u4 (s, n2, n3);
+  not  u5 (cout, n1);
+endmodule
+`
+	c, err := Read(strings.NewReader(src), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "half_adder" {
+		t.Errorf("name = %q", c.Name)
+	}
+	cc, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 2; b++ {
+			vals, err := sim.Eval(cc, []bool{a == 1, b == 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := vals[cc.NetID["s"]]
+			cout := vals[cc.NetID["cout"]]
+			if s != ((a^b) == 1) || cout != (a&b == 1) {
+				t.Errorf("half adder wrong for %d,%d", a, b)
+			}
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`module x; endmodule`, // no ports/IO at all -> compile fails
+		`module x (a); input a;`,
+		`module x (a, y); input a; output y; frob u1 (y, a); endmodule`,
+		`module x (a, y); input a; output y; not u1 (y a); endmodule`,
+		`module x (a, y); input a; output y; not u1 (y); endmodule`,
+		`module x (a, y); input a; output y; AOI21 u1 (.Y(y), .A(a)); endmodule`,
+		`module x (a, y); input a; output y; AOI21 u1 (.Y(y), .A(a), .A(a), .B(a), .C(a)); endmodule`,
+		`module x (a, y); input a, a; output y; not u1 (y, a); endmodule`,
+		`module x (a, y); /* unterminated`,
+	}
+	for i, src := range bad {
+		if _, err := Read(strings.NewReader(src), "x"); err == nil {
+			t.Errorf("bad source %d accepted", i)
+		}
+	}
+}
+
+func TestEscapedIdentifiers(t *testing.T) {
+	c := &netlist.Circuit{
+		Name:    "esc",
+		Inputs:  []string{"in[0]", "in[1]"},
+		Outputs: []string{"out$x"},
+		Gates: []netlist.Gate{
+			{Name: "out$x", Op: netlist.OpNand, Fanin: []string{"in[0]", "in[1]"}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf, "esc")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if back.Inputs[0] != "in[0]" || back.Gates[0].Name != "out$x" {
+		t.Errorf("escaped identifiers lost: %v %v", back.Inputs, back.Gates[0])
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	c := tiny()
+	c.Gates[0].Fanin[0] = "ghost"
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err == nil {
+		t.Error("invalid circuit accepted")
+	}
+}
