@@ -10,6 +10,8 @@ package svto
 
 import (
 	"bytes"
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -216,6 +218,43 @@ func BenchmarkHeuristic1C432(b *testing.B)  { benchHeu1(b, "c432") }
 func BenchmarkHeuristic1C880(b *testing.B)  { benchHeu1(b, "c880") }
 func BenchmarkHeuristic1C5315(b *testing.B) { benchHeu1(b, "c5315") }
 func BenchmarkHeuristic1C7552(b *testing.B) { benchHeu1(b, "c7552") }
+
+// BenchmarkSolveParallel measures the parallel state-tree search on c880:
+// the same Heuristic2 work budget (MaxLeaves, machine-independent) executed
+// sequentially and with one worker per CPU.  On a multicore box the
+// workers/N variant should approach an N-fold wall-clock reduction while
+// reporting an equal-or-better uA_leak (the shared incumbent only tightens
+// pruning).
+func BenchmarkSolveParallel(b *testing.B) {
+	const leafBudget = 2000
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=max", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := mustProblem(b, "c880", library.DefaultOptions(), core.ObjTotal)
+			b.ResetTimer()
+			var sol *core.Solution
+			for i := 0; i < b.N; i++ {
+				var err error
+				sol, err = p.Solve(context.Background(), core.Options{
+					Algorithm: core.AlgHeuristic2,
+					Penalty:   0.05,
+					Workers:   tc.workers,
+					MaxLeaves: leafBudget,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(sol.Leak/1000, "uA_leak")
+			b.ReportMetric(float64(sol.Stats.Leaves), "leaves")
+		})
+	}
+}
 
 // --- Ablations: the design choices the paper calls out ---
 

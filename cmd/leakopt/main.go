@@ -4,17 +4,23 @@
 //
 // Usage:
 //
-//	leakopt -bench c880 -penalty 5 -method heu2 -heu2sec 5
+//	leakopt -bench c880 -penalty 5 -method heu2 -heu2sec 5 -workers 4
 //	leakopt -in mydesign.bench -penalty 10 -method heu1 -show-vector
 //	leakopt -bench c432 -method compare -timing -mc 2000
+//
+// Ctrl-C interrupts a running search and reports the best solution found
+// so far.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"svto/internal/core"
@@ -36,8 +42,10 @@ func main() {
 		benchName = flag.String("bench", "", "built-in benchmark name (c432..c7552, alu64)")
 		inFile    = flag.String("in", "", "read an ISCAS .bench netlist instead")
 		penalty   = flag.Float64("penalty", 5, "delay penalty in percent of the max penalty range")
-		method    = flag.String("method", "heu1", "heu1 | heu2 | state-only | vt-state | compare")
+		method    = flag.String("method", "heu1", "heu1 | heu2 | exact | state-only | vt-state | compare")
 		heu2sec   = flag.Float64("heu2sec", 5, "heuristic 2 time budget (seconds)")
+		workers   = flag.Int("workers", 1, "parallel search workers (0 = all CPUs)")
+		progress  = flag.Duration("progress", 0, "print search progress at this interval (e.g. 2s; 0 = off)")
 		libOpt    = flag.String("library", "4opt", "4opt | 2opt | 4opt-uniform | 2opt-uniform")
 		vectors   = flag.Int("vectors", 10000, "random vectors for the reference average")
 		showVec   = flag.Bool("show-vector", false, "print the sleep vector")
@@ -199,8 +207,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%-12s leak=%8.2f µA  (%.1fX)  Isub=%7.2f µA  delay=%6.0f ps  [%v]\n",
-			label, sol.Leak/1000, avg/sol.Leak, sol.Isub/1000, sol.Delay, sol.Stats.Runtime.Round(time.Millisecond))
+		note := ""
+		if sol.Stats.Interrupted {
+			note = " (interrupted)"
+		}
+		fmt.Printf("%-12s leak=%8.2f µA  (%.1fX)  Isub=%7.2f µA  delay=%6.0f ps  [%v]%s\n",
+			label, sol.Leak/1000, avg/sol.Leak, sol.Isub/1000, sol.Delay, sol.Stats.Runtime.Round(time.Millisecond), note)
 		if *showStats {
 			fmt.Printf("             state nodes %d, gate trials %d, leaves %d, pruned %d\n",
 				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.Pruned)
@@ -222,14 +234,37 @@ func main() {
 		return sol
 	}
 
+	// Ctrl-C cancels the search; the engine returns the incumbent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	solve := func(prob *core.Problem, alg core.Algorithm, limit time.Duration) func() (*core.Solution, error) {
+		o := core.Options{
+			Algorithm: alg,
+			Penalty:   pen,
+			TimeLimit: limit,
+			Workers:   *workers,
+		}
+		if *progress > 0 {
+			o.ProgressInterval = *progress
+			o.Progress = func(pr core.Progress) {
+				fmt.Printf("  [%6.1fs] best=%8.2f µA  nodes=%d leaves=%d pruned=%d\n",
+					pr.Elapsed.Seconds(), pr.BestLeak/1000, pr.StateNodes, pr.Leaves, pr.Pruned)
+			}
+		}
+		return func() (*core.Solution, error) { return prob.Solve(ctx, o) }
+	}
+
 	heu2Limit := time.Duration(*heu2sec * float64(time.Second))
 	switch *method {
 	case "heu1":
-		report(p, run("heuristic-1", func() (*core.Solution, error) { return p.Heuristic1(pen) }))
+		report(p, run("heuristic-1", solve(p, core.AlgHeuristic1, 0)))
 	case "heu2":
-		report(p, run("heuristic-2", func() (*core.Solution, error) { return p.Heuristic2(pen, heu2Limit) }))
+		report(p, run("heuristic-2", solve(p, core.AlgHeuristic2, heu2Limit)))
+	case "exact":
+		report(p, run("exact", solve(p, core.AlgExact, 0)))
 	case "state-only":
-		report(p, run("state-only", p.StateOnly))
+		report(p, run("state-only", solve(p, core.AlgStateOnly, 0)))
 	case "vt-state":
 		vtOpt := opt
 		vtOpt.VtOnly = true
@@ -241,11 +276,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		report(pvt, run("vt+state[12]", func() (*core.Solution, error) { return pvt.Heuristic1(pen) }))
+		report(pvt, run("vt+state[12]", solve(pvt, core.AlgHeuristic1, 0)))
 	case "compare":
-		run("state-only", p.StateOnly)
-		run("heuristic-1", func() (*core.Solution, error) { return p.Heuristic1(pen) })
-		report(p, run("heuristic-2", func() (*core.Solution, error) { return p.Heuristic2(pen, heu2Limit) }))
+		run("state-only", solve(p, core.AlgStateOnly, 0))
+		run("heuristic-1", solve(p, core.AlgHeuristic1, 0))
+		report(p, run("heuristic-2", solve(p, core.AlgHeuristic2, heu2Limit)))
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}

@@ -1,4 +1,5 @@
-// Full flow: everything between RTL-ish gates and a standby-ready netlist.
+// Full flow: everything between RTL-ish gates and a standby-ready netlist,
+// through the public pkg/svto facade.
 //
 //	generic netlist -> technology mapping -> AOI/OAI fusion ->
 //	simultaneous state+Vt+Tox optimization -> leakage report ->
@@ -8,87 +9,59 @@
 package main
 
 import (
+	"context"
+	_ "embed"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 
-	"svto/internal/core"
-	"svto/internal/gen"
-	"svto/internal/liberty"
-	"svto/internal/library"
-	"svto/internal/netlist"
-	"svto/internal/power"
-	"svto/internal/sta"
-	"svto/internal/standby"
-	"svto/internal/tech"
-	"svto/internal/techmap"
-	"svto/internal/verilog"
+	"svto/pkg/svto"
 )
 
+// An 8-bit comparator block written in generic gates (as it would come out
+// of RTL elaboration).
+//
+//go:embed cmp8.bench
+var cmp8 string
+
 func main() {
-	// 1. The design: an 8-bit comparator block written in generic gates
-	//    (as it would come out of RTL elaboration).
-	circ, err := gen.Comparator("cmp8", 8)
+	// 1-3. Map, fuse onto complex cells, and optimize sleep state plus
+	// Vt/Tox versions with three refinement passes under a 5% budget.
+	res, err := svto.Optimize(context.Background(), svto.Config{
+		Bench:           strings.NewReader(cmp8),
+		Name:            "cmp8",
+		Fuse:            true,
+		Penalty:         0.05,
+		RefinePasses:    3,
+		BaselineVectors: 5000,
+		Seed:            1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("elaborated:  %s\n", circ)
-
-	// 2. Peephole fusion onto complex cells (fewer gates, fewer leakage
-	//    paths).
-	fused, err := techmap.Optimize(circ)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("fused:       %s\n", fused)
-
-	// 3. Build the standby library and optimize sleep state + versions.
-	lib, err := library.Cached(tech.Default(), library.DefaultOptions())
-	if err != nil {
-		log.Fatal(err)
-	}
-	prob, err := core.NewProblem(fused, lib, sta.DefaultConfig(), core.ObjTotal)
-	if err != nil {
-		log.Fatal(err)
-	}
-	avg, err := prob.AverageRandomLeak(1, 5000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	sol, err := prob.Heuristic1Refined(0.05, 3)
-	if err != nil {
-		log.Fatal(err)
-	}
+	fmt.Printf("design:      %s (%d inputs, %d fused gates)\n", res.Design, len(res.Inputs), len(res.Gates))
 	fmt.Printf("standby:     %.2f µA -> %.2f µA (%.1fX) at %.1f%% delay cost\n",
-		avg/1000, sol.Leak/1000, avg/sol.Leak, (sol.Delay/prob.Dmin-1)*100)
+		res.BaselineNA/1000, res.LeakNA/1000, res.ReductionX(), (res.DelayPS/res.DminPS-1)*100)
 
 	// 4. Leakage report.
-	rep, err := power.Analyze(prob, sol)
+	report, err := res.Report(5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println()
-	fmt.Print(rep.Format(5))
+	fmt.Print(report)
 
 	// 5. Emit the implementation artifacts.
 	dir, err := os.MkdirTemp("", "svto-flow-")
 	if err != nil {
 		log.Fatal(err)
 	}
-	wrapped, err := standby.Wrap(fused, sol.State)
-	if err != nil {
-		log.Fatal(err)
-	}
-	writeFile(filepath.Join(dir, "cmp8_standby.bench"), func(f *os.File) error {
-		return netlist.WriteBench(f, wrapped)
-	})
-	writeFile(filepath.Join(dir, "cmp8.v"), func(f *os.File) error {
-		return verilog.Write(f, fused)
-	})
-	writeFile(filepath.Join(dir, "svto.lib"), func(f *os.File) error {
-		return liberty.Write(f, liberty.Export(lib))
-	})
+	writeFile(filepath.Join(dir, "cmp8_standby.bench"), res.WriteStandbyBench)
+	writeFile(filepath.Join(dir, "cmp8.v"), res.WriteVerilog)
+	writeFile(filepath.Join(dir, "svto.lib"), res.WriteLiberty)
 	fmt.Printf("\nartifacts in %s:\n", dir)
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -103,7 +76,7 @@ func main() {
 	}
 }
 
-func writeFile(path string, write func(*os.File) error) {
+func writeFile(path string, write func(io.Writer) error) {
 	f, err := os.Create(path)
 	if err != nil {
 		log.Fatal(err)

@@ -1,91 +1,57 @@
-// Quickstart: build a small combinational block, find its best standby
-// state and Vt/Tox cell-version assignment, and report the leakage saving.
+// Quickstart: optimize a small combinational block's standby state and
+// Vt/Tox cell-version assignment through the public pkg/svto facade, and
+// report the leakage saving.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	_ "embed"
 	"fmt"
 	"log"
+	"strings"
 
-	"svto/internal/core"
-	"svto/internal/library"
-	"svto/internal/netlist"
-	"svto/internal/sta"
-	"svto/internal/tech"
+	"svto/pkg/svto"
 )
 
+// A 4-bit one-hot detector: onehot = exactly-one-bit-set(a,b,c,d).  The
+// generic NAND/NOR/NOT gates are technology-mapped automatically.
+//
+//go:embed onehot4.bench
+var onehot4 string
+
 func main() {
-	// A 4-bit one-hot detector: out = exactly-one-bit-set(a,b,c,d),
-	// written with generic gates and mapped through the library subset
-	// by hand (NAND/NOR/INV are directly library-backed).
-	circ := &netlist.Circuit{
+	res, err := svto.Optimize(context.Background(), svto.Config{
+		Bench:   strings.NewReader(onehot4),
 		Name:    "onehot4",
-		Inputs:  []string{"a", "b", "c", "d"},
-		Outputs: []string{"onehot"},
-		Gates: []netlist.Gate{
-			// any pair set? (6 pair terms, NOR of NANDs inverted)
-			{Name: "nab", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
-			{Name: "ncd", Op: netlist.OpNand, Fanin: []string{"c", "d"}},
-			{Name: "nac", Op: netlist.OpNand, Fanin: []string{"a", "c"}},
-			{Name: "nbd", Op: netlist.OpNand, Fanin: []string{"b", "d"}},
-			{Name: "nad", Op: netlist.OpNand, Fanin: []string{"a", "d"}},
-			{Name: "nbc", Op: netlist.OpNand, Fanin: []string{"b", "c"}},
-			{Name: "pair1", Op: netlist.OpNand, Fanin: []string{"nab", "ncd", "nac"}},
-			{Name: "pair2", Op: netlist.OpNand, Fanin: []string{"nbd", "nad", "nbc"}},
-			{Name: "anypair", Op: netlist.OpNor, Fanin: []string{"pair1", "pair2"}},
-			// any bit set?
-			{Name: "none", Op: netlist.OpNor, Fanin: []string{"a", "b", "c", "d"}},
-			// one-hot = some bit set AND no pair set.
-			{Name: "onehot", Op: netlist.OpNor, Fanin: []string{"none", "anypairn"}},
-			{Name: "anypairn", Op: netlist.OpNot, Fanin: []string{"anypair"}},
-		},
-	}
-
-	// 1. Build (or fetch the cached) standby cell library: every cell
-	//    gets up to four Vt/Tox trade-off versions per input state.
-	lib, err := library.Cached(tech.Default(), library.DefaultOptions())
+		Penalty: 0.10, // 10% delay budget
+		// Reference point: expected leakage with no standby optimization.
+		BaselineVectors: 5000,
+		Seed:            1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 2. Bind the circuit to the library and timing environment.
-	prob, err := core.NewProblem(circ, lib, sta.DefaultConfig(), core.ObjTotal)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("circuit: %s\n", circ)
-	fmt.Printf("fastest implementation delay: %.0f ps; all-slow: %.0f ps\n", prob.Dmin, prob.Dmax)
+	fmt.Printf("circuit: %s (%d inputs, %d gates)\n", res.Design, len(res.Inputs), len(res.Gates))
+	fmt.Printf("fastest implementation delay: %.0f ps; all-slow: %.0f ps\n", res.DminPS, res.DmaxPS)
+	fmt.Printf("unoptimized average leakage: %.1f nA\n", res.BaselineNA)
+	fmt.Printf("optimized standby leakage:   %.1f nA  (%.1fX lower)\n", res.LeakNA, res.ReductionX())
+	fmt.Printf("delay after assignment:      %.0f ps (budget %.0f ps)\n", res.DelayPS, res.BudgetPS)
 
-	// 3. Reference point: expected leakage with no standby optimization.
-	avg, err := prob.AverageRandomLeak(1, 5000)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("unoptimized average leakage: %.1f nA\n", avg)
-
-	// 4. Optimize: simultaneous state + Vt + Tox under a 10%% delay budget.
-	sol, err := prob.Heuristic1(0.10)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("optimized standby leakage:   %.1f nA  (%.1fX lower)\n", sol.Leak, avg/sol.Leak)
-	fmt.Printf("delay after assignment:      %.0f ps (budget %.0f ps)\n", sol.Delay, prob.Budget(0.10))
 	fmt.Print("sleep vector: ")
-	for i, in := range circ.Inputs {
+	for i, in := range res.Inputs {
 		v := 0
-		if sol.State[i] {
+		if res.SleepVector[i] {
 			v = 1
 		}
 		fmt.Printf("%s=%d ", in, v)
 	}
 	fmt.Println()
 
-	// 5. Inspect the per-gate version assignment.
 	fmt.Println("gate assignments:")
-	for gi, g := range prob.CC.Gates {
-		ch := sol.Choices[gi]
-		fmt.Printf("  %-8s -> %-10s (%s, %.1f nA)\n",
-			prob.CC.NetName[g.Out], ch.Version.Name, ch.Kind, ch.Leak)
+	for _, g := range res.Gates {
+		fmt.Printf("  %-8s -> %-10s (%s, %.1f nA)\n", g.Gate, g.Version, g.Kind, g.LeakNA)
 	}
 }

@@ -1,13 +1,6 @@
 package core
 
-import (
-	"fmt"
-	"sort"
-	"time"
-
-	"svto/internal/library"
-	"svto/internal/sim"
-)
+import "context"
 
 // MaxExactInputs bounds the state-tree width the exact solver accepts; the
 // search space is 2^(n+2m), so this is for validation on small circuits
@@ -19,167 +12,15 @@ const MaxExactInputs = 16
 // over the primary inputs, and at each complete state a gate tree over the
 // version choices, both pruned with admissible leakage bounds and the
 // incremental delay lower bound (unassigned gates at their fastest version).
+//
+// Deprecated: Exact is a thin wrapper kept for existing callers.  New code
+// should use [Problem.Solve] with Options{Algorithm: AlgExact, Penalty:
+// penalty}, which adds context cancellation, parallel workers and progress
+// reporting over the same search.
 func (p *Problem) Exact(penalty float64) (*Solution, error) {
-	if len(p.CC.PI) > MaxExactInputs {
-		return nil, fmt.Errorf("core: exact search limited to %d inputs, circuit has %d",
-			MaxExactInputs, len(p.CC.PI))
-	}
-	start := time.Now()
-	budget := p.Budget(penalty)
-
-	// The greedy heuristic's first descent establishes the initial upper
-	// bound (paper: "results in the establishment of a good lower bound
-	// during the first downward traversal").
-	best, err := p.Heuristic1(penalty)
-	if err != nil {
-		return nil, err
-	}
-	stats := best.Stats
-
-	e := &exactSearch{p: p, budget: budget, best: best, stats: &stats}
-	pi := make([]sim.Value, len(p.CC.PI))
-	for i := range pi {
-		pi[i] = sim.X
-	}
-	if err := e.stateDFS(pi, 0); err != nil {
-		return nil, err
-	}
-	stats.Runtime = time.Since(start)
-	e.best.Stats = stats
-	return e.best, nil
-}
-
-type exactSearch struct {
-	p      *Problem
-	budget float64
-	best   *Solution
-	stats  *SearchStats
-}
-
-func (e *exactSearch) stateDFS(pi []sim.Value, depth int) error {
-	p := e.p
-	if depth == len(p.piOrder) {
-		state := make([]bool, len(pi))
-		for i, v := range pi {
-			state[i] = v == sim.True
-		}
-		return e.evalLeaf(state)
-	}
-	idx := p.piOrder[depth]
-	e.stats.StateNodes++
-	type branch struct {
-		v     sim.Value
-		bound float64
-	}
-	branches := make([]branch, 0, 2)
-	for _, v := range []sim.Value{sim.False, sim.True} {
-		pi[idx] = v
-		b, err := p.stateBound(pi)
-		if err != nil {
-			return err
-		}
-		branches = append(branches, branch{v, b})
-	}
-	if branches[1].bound < branches[0].bound {
-		branches[0], branches[1] = branches[1], branches[0]
-	}
-	for _, br := range branches {
-		if br.bound >= e.best.Leak-1e-12 {
-			e.stats.Pruned++
-			continue
-		}
-		pi[idx] = br.v
-		if err := e.stateDFS(pi, depth+1); err != nil {
-			return err
-		}
-	}
-	pi[idx] = sim.X
-	return nil
-}
-
-// evalLeaf runs the exact gate-tree branch-and-bound for one state.
-func (e *exactSearch) evalLeaf(state []bool) error {
-	p := e.p
-	gateStates, err := p.gateStates(state)
-	if err != nil {
-		return err
-	}
-	e.stats.Leaves++
-
-	// Remaining-gates leakage suffix bounds over the gain-sorted order.
-	order := make([]int, len(p.CC.Gates))
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ga := p.objOf(p.Timer.Cells[order[a]].FastChoice(gateStates[order[a]])) - p.minChoice[order[a]][gateStates[order[a]]]
-		gb := p.objOf(p.Timer.Cells[order[b]].FastChoice(gateStates[order[b]])) - p.minChoice[order[b]][gateStates[order[b]]]
-		return ga > gb
+	return p.Solve(context.Background(), Options{
+		Algorithm: AlgExact,
+		Penalty:   penalty,
+		Workers:   1,
 	})
-	suffix := make([]float64, len(order)+1)
-	for i := len(order) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + p.minChoice[order[i]][gateStates[order[i]]]
-	}
-
-	st, err := p.Timer.NewState(p.Timer.FastChoices())
-	if err != nil {
-		return err
-	}
-	chosen := make([]*library.Choice, len(order))
-	var gateDFS func(pos int, leakSoFar float64) error
-	gateDFS = func(pos int, leakSoFar float64) error {
-		if leakSoFar+suffix[pos] >= e.best.Leak-1e-12 {
-			return nil
-		}
-		if pos == len(order) {
-			choices := make([]*library.Choice, len(p.CC.Gates))
-			for k, gi := range order {
-				choices[gi] = chosen[k]
-			}
-			leak, isub := leakOf(choices)
-			delay := st.Delay()
-			if delay > e.budget+1e-9 {
-				return nil
-			}
-			if leak < e.best.Leak {
-				e.best = &Solution{
-					State:   append([]bool(nil), state...),
-					Choices: choices,
-					Leak:    leak,
-					Isub:    isub,
-					Delay:   delay,
-				}
-			}
-			return nil
-		}
-		gi := order[pos]
-		cell := p.Timer.Cells[gi]
-		s := gateStates[gi]
-		choices := cell.Choices[s]
-		idx := make([]int, len(choices))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			return p.objOf(&choices[idx[a]]) < p.objOf(&choices[idx[b]])
-		})
-		prev := st.Choice(gi)
-		for _, ci := range idx {
-			ch := &choices[ci]
-			e.stats.GateTrials++
-			st.SetChoice(gi, ch)
-			// Delay with the remaining gates fast is a lower bound on
-			// any completion: prune infeasible subtrees.
-			if ch.Version.MaxFactor > 1 && st.Delay() > e.budget+1e-9 {
-				continue
-			}
-			chosen[pos] = ch
-			if err := gateDFS(pos+1, leakSoFar+p.objOf(ch)); err != nil {
-				return err
-			}
-		}
-		st.SetChoice(gi, prev)
-		return nil
-	}
-	return gateDFS(0, 0)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"svto/internal/library"
@@ -11,18 +12,31 @@ import (
 // traversal of the state tree (each input takes the branch with the lower
 // partial-state leakage bound), followed by a single pre-sorted descent of
 // the gate tree under the delay budget.
+//
+// Deprecated: Heuristic1 is a thin wrapper kept for existing callers.  New
+// code should use [Problem.Solve] with Options{Algorithm: AlgHeuristic1,
+// Penalty: penalty}, which adds context cancellation, progress reporting
+// and refinement in the same call.
 func (p *Problem) Heuristic1(penalty float64) (*Solution, error) {
-	start := time.Now()
+	return p.Solve(context.Background(), Options{
+		Algorithm: AlgHeuristic1,
+		Penalty:   penalty,
+		Workers:   1,
+	})
+}
+
+// heuristic1 is the implementation behind AlgHeuristic1 and the incumbent
+// seeding of the tree searches.  Stats.Runtime is stamped by Solve.
+func (p *Problem) heuristic1(budget float64) (*Solution, error) {
 	var stats SearchStats
 	state, err := p.greedyState(&stats, p.stateBound)
 	if err != nil {
 		return nil, err
 	}
-	sol, err := p.evalState(state, p.Budget(penalty), &stats)
+	sol, err := p.evalState(state, budget, &stats)
 	if err != nil {
 		return nil, err
 	}
-	stats.Runtime = time.Since(start)
 	sol.Stats = stats
 	return sol, nil
 }
@@ -59,85 +73,44 @@ func (p *Problem) greedyState(stats *SearchStats, bound func([]sim.Value) (float
 // Heuristic2 is the paper's second heuristic: Heuristic1's descent followed
 // by a bounded depth-first search of the state tree until the time budget
 // expires, evaluating each reached leaf with the greedy gate-tree descent.
+//
+// Deprecated: Heuristic2 is a thin wrapper kept for existing callers.  New
+// code should use [Problem.Solve] with Options{Algorithm: AlgHeuristic2,
+// Penalty: penalty, TimeLimit: limit} — or a context deadline — which adds
+// cancellation, parallel workers and progress reporting.
 func (p *Problem) Heuristic2(penalty float64, limit time.Duration) (*Solution, error) {
-	start := time.Now()
-	deadline := start.Add(limit)
-	budget := p.Budget(penalty)
-
-	best, err := p.Heuristic1(penalty)
-	if err != nil {
-		return nil, err
+	ctx := context.Background()
+	if limit <= 0 {
+		// The legacy semantics of a non-positive budget: the seeding
+		// descent runs, the tree search does not.
+		c, cancel := context.WithCancel(ctx)
+		cancel()
+		ctx = c
+		limit = 0
 	}
-	stats := best.Stats
-
-	pi := make([]sim.Value, len(p.CC.PI))
-	for i := range pi {
-		pi[i] = sim.X
-	}
-	var dfs func(depth int) error
-	dfs = func(depth int) error {
-		if time.Now().After(deadline) {
-			return nil
-		}
-		if depth == len(p.piOrder) {
-			state := make([]bool, len(pi))
-			for i, v := range pi {
-				state[i] = v == sim.True
-			}
-			sol, err := p.evalState(state, budget, &stats)
-			if err != nil {
-				return err
-			}
-			if sol.Leak < best.Leak {
-				sol.Stats = stats
-				best = sol
-			}
-			return nil
-		}
-		idx := p.piOrder[depth]
-		stats.StateNodes++
-		type branch struct {
-			v     sim.Value
-			bound float64
-		}
-		branches := make([]branch, 0, 2)
-		for _, v := range []sim.Value{sim.False, sim.True} {
-			pi[idx] = v
-			b, err := p.stateBound(pi)
-			if err != nil {
-				return err
-			}
-			branches = append(branches, branch{v, b})
-		}
-		if branches[1].bound < branches[0].bound {
-			branches[0], branches[1] = branches[1], branches[0]
-		}
-		for _, br := range branches {
-			if br.bound >= best.Leak {
-				stats.Pruned++
-				continue
-			}
-			pi[idx] = br.v
-			if err := dfs(depth + 1); err != nil {
-				return err
-			}
-		}
-		pi[idx] = sim.X
-		return nil
-	}
-	if err := dfs(0); err != nil {
-		return nil, err
-	}
-	stats.Runtime = time.Since(start)
-	best.Stats = stats
-	return best, nil
+	return p.Solve(ctx, Options{
+		Algorithm: AlgHeuristic2,
+		Penalty:   penalty,
+		TimeLimit: limit,
+		Workers:   1,
+	})
 }
 
 // StateOnly models the traditional sleep-vector technique: search the state
 // tree only, with every gate fixed at its fastest version (no Vt or Tox
 // assignment).  The paper reports this achieves only ~6% reduction.
+//
+// Deprecated: StateOnly is a thin wrapper kept for existing callers.  New
+// code should use [Problem.Solve] with Options{Algorithm: AlgStateOnly}.
 func (p *Problem) StateOnly() (*Solution, error) {
-	start := time.Now()
+	return p.Solve(context.Background(), Options{
+		Algorithm: AlgStateOnly,
+		Workers:   1,
+	})
+}
+
+// stateOnly is the implementation behind AlgStateOnly.
+func (p *Problem) stateOnly() (*Solution, error) {
 	var stats SearchStats
 	// Bound uses the fast-version leakage instead of the best choice.
 	fastMinAny := make([]float64, len(p.CC.Gates))
@@ -184,7 +157,6 @@ func (p *Problem) StateOnly() (*Solution, error) {
 		return nil, err
 	}
 	stats.Leaves = 1
-	stats.Runtime = time.Since(start)
 	return &Solution{
 		State:   state,
 		Choices: choices,

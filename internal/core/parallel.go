@@ -1,0 +1,489 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"svto/internal/library"
+	"svto/internal/sim"
+	"svto/internal/sta"
+)
+
+// sharedSearch is the state shared by every worker of one tree search: the
+// incumbent upper bound (read lock-free on the hot pruning path, tightened
+// globally whenever any worker improves it), the stop flag, the optional
+// leaf budget, and the aggregated counters behind Progress snapshots.
+type sharedSearch struct {
+	p      *Problem
+	alg    Algorithm
+	budget float64
+
+	// bestBits holds math.Float64bits of the incumbent leakage so the
+	// pruning comparison is a single atomic load.
+	bestBits atomic.Uint64
+	mu       sync.Mutex
+	best     *Solution
+
+	stop        atomic.Bool
+	interrupted atomic.Bool
+
+	maxLeaves   int64
+	leafTickets atomic.Int64
+
+	splitDepth int
+
+	stateNodes atomic.Int64
+	gateTrials atomic.Int64
+	leaves     atomic.Int64
+	pruned     atomic.Int64
+
+	// baseline is the all-fast timing state workers clone instead of
+	// re-running a full analysis per worker.
+	baseline     *sta.State
+	baselineOnce sync.Once
+	baselineErr  error
+}
+
+// newSharedSearch seeds the incumbent with Heuristic 1's solution (the
+// paper's "good bound during the first downward traversal") and folds its
+// counters into the shared totals.
+func newSharedSearch(p *Problem, opt Options, budget float64, seed *Solution) *sharedSearch {
+	sh := &sharedSearch{
+		p:         p,
+		alg:       opt.Algorithm,
+		budget:    budget,
+		maxLeaves: opt.MaxLeaves,
+	}
+	sh.bestBits.Store(math.Float64bits(seed.Leak))
+	sh.best = seed
+	sh.stateNodes.Store(seed.Stats.StateNodes)
+	sh.gateTrials.Store(seed.Stats.GateTrials)
+	sh.leaves.Store(seed.Stats.Leaves)
+	sh.pruned.Store(seed.Stats.Pruned)
+	sh.leafTickets.Store(seed.Stats.Leaves)
+	return sh
+}
+
+func (sh *sharedSearch) bestLeak() float64 {
+	return math.Float64frombits(sh.bestBits.Load())
+}
+
+// offer installs sol as the incumbent if it improves the bound; the fast
+// CAS loop publishes the new bound before the slower solution swap so other
+// workers prune against it immediately.
+func (sh *sharedSearch) offer(sol *Solution) {
+	for {
+		cur := sh.bestBits.Load()
+		if sol.Leak >= math.Float64frombits(cur) {
+			return
+		}
+		if sh.bestBits.CompareAndSwap(cur, math.Float64bits(sol.Leak)) {
+			break
+		}
+	}
+	sh.mu.Lock()
+	if sh.best == nil || sol.Leak < sh.best.Leak {
+		sh.best = sol
+	}
+	sh.mu.Unlock()
+}
+
+func (sh *sharedSearch) markInterrupted() {
+	sh.interrupted.Store(true)
+	sh.stop.Store(true)
+}
+
+// takeLeafTicket enforces the MaxLeaves work budget across workers.
+func (sh *sharedSearch) takeLeafTicket() bool {
+	if sh.maxLeaves <= 0 {
+		return true
+	}
+	if sh.leafTickets.Add(1) > sh.maxLeaves {
+		sh.markInterrupted()
+		return false
+	}
+	return true
+}
+
+// snapshot reads the shared counters for a Progress callback.
+func (sh *sharedSearch) snapshot(start time.Time) Progress {
+	return Progress{
+		StateNodes: sh.stateNodes.Load(),
+		GateTrials: sh.gateTrials.Load(),
+		Leaves:     sh.leaves.Load(),
+		Pruned:     sh.pruned.Load(),
+		BestLeak:   sh.bestLeak(),
+		Elapsed:    time.Since(start),
+	}
+}
+
+// finish packages the incumbent with the aggregated stats.
+func (sh *sharedSearch) finish(start time.Time) *Solution {
+	sh.mu.Lock()
+	best := sh.best
+	sh.mu.Unlock()
+	best.Stats = SearchStats{
+		StateNodes:  sh.stateNodes.Load(),
+		GateTrials:  sh.gateTrials.Load(),
+		Leaves:      sh.leaves.Load(),
+		Pruned:      sh.pruned.Load(),
+		Runtime:     time.Since(start),
+		Interrupted: sh.interrupted.Load(),
+	}
+	return best
+}
+
+// sharedBaseline lazily computes the all-fast timing state once; workers
+// clone it (O(nets) copy) instead of each paying a full analysis.
+func (sh *sharedSearch) sharedBaseline() (*sta.State, error) {
+	sh.baselineOnce.Do(func() {
+		sh.baseline, sh.baselineErr = sh.p.Timer.NewState(sh.p.Timer.FastChoices())
+	})
+	return sh.baseline, sh.baselineErr
+}
+
+// worker is one search goroutine: its own partial-state vector, incremental
+// timing scratch and local counters (flushed to the shared totals at leaf
+// granularity, keeping the hot path free of atomic traffic).
+type worker struct {
+	sh      *sharedSearch
+	pi      []sim.Value
+	stats   SearchStats
+	flushed SearchStats
+	base    *sta.State // all-fast reference timing
+	scratch *sta.State // per-leaf working state
+}
+
+func (sh *sharedSearch) newWorker() (*worker, error) {
+	base, err := sh.sharedBaseline()
+	if err != nil {
+		return nil, err
+	}
+	w := &worker{
+		sh:      sh,
+		pi:      make([]sim.Value, len(sh.p.CC.PI)),
+		base:    base,
+		scratch: base.Clone(),
+	}
+	for i := range w.pi {
+		w.pi[i] = sim.X
+	}
+	return w, nil
+}
+
+// flush publishes the worker's counter deltas to the shared totals.
+func (w *worker) flush() {
+	w.sh.stateNodes.Add(w.stats.StateNodes - w.flushed.StateNodes)
+	w.sh.gateTrials.Add(w.stats.GateTrials - w.flushed.GateTrials)
+	w.sh.leaves.Add(w.stats.Leaves - w.flushed.Leaves)
+	w.sh.pruned.Add(w.stats.Pruned - w.flushed.Pruned)
+	w.flushed = w.stats
+}
+
+// searchFromRoot runs the whole state tree on this worker (Workers == 1).
+func (w *worker) searchFromRoot() error {
+	err := w.dfs(0)
+	w.flush()
+	return err
+}
+
+// dfs is the bound-guided state-tree descent: at each level the two branch
+// bounds are computed by 3-valued simulation, the tighter branch explored
+// first, and branches whose admissible bound cannot beat the shared
+// incumbent are pruned.
+func (w *worker) dfs(depth int) error {
+	sh := w.sh
+	if sh.stop.Load() {
+		return nil
+	}
+	p := sh.p
+	if depth == len(p.piOrder) {
+		return w.leaf()
+	}
+	idx := p.piOrder[depth]
+	w.stats.StateNodes++
+	type branch struct {
+		v     sim.Value
+		bound float64
+	}
+	branches := make([]branch, 0, 2)
+	for _, v := range []sim.Value{sim.False, sim.True} {
+		w.pi[idx] = v
+		b, err := p.stateBound(w.pi)
+		if err != nil {
+			return err
+		}
+		branches = append(branches, branch{v, b})
+	}
+	if branches[1].bound < branches[0].bound {
+		branches[0], branches[1] = branches[1], branches[0]
+	}
+	for _, br := range branches {
+		if br.bound >= sh.bestLeak()-LeakEps {
+			w.stats.Pruned++
+			continue
+		}
+		w.pi[idx] = br.v
+		if err := w.dfs(depth + 1); err != nil {
+			return err
+		}
+	}
+	w.pi[idx] = sim.X
+	return nil
+}
+
+// leaf evaluates one complete input state, either with the greedy gate-tree
+// descent (Heuristic 2) or the exact gate-tree branch-and-bound.
+func (w *worker) leaf() error {
+	if !w.sh.takeLeafTicket() {
+		return nil
+	}
+	state := make([]bool, len(w.pi))
+	for i, v := range w.pi {
+		state[i] = v == sim.True
+	}
+	var err error
+	if w.sh.alg == AlgExact {
+		err = w.exactLeaf(state)
+	} else {
+		err = w.greedyLeaf(state)
+	}
+	w.flush()
+	return err
+}
+
+// greedyLeaf runs the greedy single descent of the gate tree on a cloned
+// baseline timing state and offers the result to the shared incumbent.
+func (w *worker) greedyLeaf(state []bool) error {
+	w.scratch.CopyFrom(w.base)
+	sol, err := w.sh.p.evalStateOn(w.scratch, state, w.sh.budget, &w.stats)
+	if err != nil {
+		return err
+	}
+	w.sh.offer(sol)
+	return nil
+}
+
+// exactLeaf runs the exact gate-tree branch-and-bound for one state: gates
+// in gain order, remaining-gates leakage suffix bounds, and the incremental
+// delay lower bound (unassigned gates at their fastest version).
+func (w *worker) exactLeaf(state []bool) error {
+	sh := w.sh
+	p := sh.p
+	gateStates, err := p.gateStates(state)
+	if err != nil {
+		return err
+	}
+	w.stats.Leaves++
+
+	order := make([]int, len(p.CC.Gates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ga := p.objOf(p.Timer.Cells[order[a]].FastChoice(gateStates[order[a]])) - p.minChoice[order[a]][gateStates[order[a]]]
+		gb := p.objOf(p.Timer.Cells[order[b]].FastChoice(gateStates[order[b]])) - p.minChoice[order[b]][gateStates[order[b]]]
+		return ga > gb
+	})
+	suffix := make([]float64, len(order)+1)
+	for i := len(order) - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + p.minChoice[order[i]][gateStates[order[i]]]
+	}
+
+	w.scratch.CopyFrom(w.base)
+	st := w.scratch
+	chosen := make([]*library.Choice, len(order))
+	var gateDFS func(pos int, leakSoFar float64) error
+	gateDFS = func(pos int, leakSoFar float64) error {
+		if sh.stop.Load() {
+			return nil
+		}
+		if leakSoFar+suffix[pos] >= sh.bestLeak()-LeakEps {
+			return nil
+		}
+		if pos == len(order) {
+			choices := make([]*library.Choice, len(p.CC.Gates))
+			for k, gi := range order {
+				choices[gi] = chosen[k]
+			}
+			leak, isub := leakOf(choices)
+			delay := st.Delay()
+			if delay > sh.budget+DelayEps {
+				return nil
+			}
+			sh.offer(&Solution{
+				State:   append([]bool(nil), state...),
+				Choices: choices,
+				Leak:    leak,
+				Isub:    isub,
+				Delay:   delay,
+			})
+			return nil
+		}
+		gi := order[pos]
+		cell := p.Timer.Cells[gi]
+		s := gateStates[gi]
+		choices := cell.Choices[s]
+		idx := make([]int, len(choices))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return p.objOf(&choices[idx[a]]) < p.objOf(&choices[idx[b]])
+		})
+		prev := st.Choice(gi)
+		for _, ci := range idx {
+			ch := &choices[ci]
+			w.stats.GateTrials++
+			st.SetChoice(gi, ch)
+			// Delay with the remaining gates fast is a lower bound on
+			// any completion: prune infeasible subtrees.
+			if ch.Version.MaxFactor > 1 && st.Delay() > sh.budget+DelayEps {
+				continue
+			}
+			chosen[pos] = ch
+			if err := gateDFS(pos+1, leakSoFar+p.objOf(ch)); err != nil {
+				return err
+			}
+		}
+		st.SetChoice(gi, prev)
+		return nil
+	}
+	return gateDFS(0, 0)
+}
+
+// runParallel splits the state tree at splitDepth into independent subtree
+// tasks and drains them with a pool of workers.  The task queue is the
+// load-balancing mechanism: a worker that lands on heavily-pruned subtrees
+// immediately picks up the next task while others are still descending.
+func (sh *sharedSearch) runParallel(opt Options) error {
+	depth := opt.SplitDepth
+	if depth <= 0 {
+		depth = autoSplitDepth(opt.Workers, len(sh.p.piOrder))
+	}
+	if depth > len(sh.p.piOrder) {
+		depth = len(sh.p.piOrder)
+	}
+	sh.splitDepth = depth
+
+	tasks, err := sh.frontier(depth)
+	if err != nil {
+		return err
+	}
+	if opt.Seed != 0 {
+		rng := rand.New(rand.NewSource(opt.Seed))
+		rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+	}
+
+	queue := make(chan []sim.Value)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			sh.stop.Store(true)
+		})
+	}
+	workers := opt.Workers
+	if workers > len(tasks) && len(tasks) > 0 {
+		workers = len(tasks)
+	}
+	for i := 0; i < workers; i++ {
+		w, err := sh.newWorker()
+		if err != nil {
+			fail(err)
+			break
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for task := range queue {
+				copy(w.pi, task)
+				if err := w.dfs(sh.splitDepth); err != nil {
+					fail(err)
+					break
+				}
+			}
+			// Drain so the feeder never blocks after a worker fails.
+			for range queue {
+			}
+			w.flush()
+		}()
+	}
+	for _, task := range tasks {
+		if sh.stop.Load() {
+			break
+		}
+		queue <- task
+	}
+	close(queue)
+	wg.Wait()
+	return firstErr
+}
+
+// autoSplitDepth picks the shallowest depth giving a comfortable task
+// surplus (≈4 subtrees per worker), so pruning imbalance load-balances.
+func autoSplitDepth(workers, piCount int) int {
+	d := 0
+	for (1<<d) < 4*workers && d < piCount && d < 12 {
+		d++
+	}
+	return d
+}
+
+// frontier expands the state tree breadth-first to the split depth,
+// applying the same bound-guided ordering and pruning the DFS would.
+func (sh *sharedSearch) frontier(depth int) ([][]sim.Value, error) {
+	p := sh.p
+	root := make([]sim.Value, len(p.CC.PI))
+	for i := range root {
+		root[i] = sim.X
+	}
+	tasks := [][]sim.Value{root}
+	scratch := make([]sim.Value, len(root))
+	for d := 0; d < depth; d++ {
+		idx := p.piOrder[d]
+		next := make([][]sim.Value, 0, 2*len(tasks))
+		for _, task := range tasks {
+			if sh.stop.Load() {
+				return next, nil
+			}
+			sh.stateNodes.Add(1)
+			copy(scratch, task)
+			type branch struct {
+				v     sim.Value
+				bound float64
+			}
+			branches := make([]branch, 0, 2)
+			for _, v := range []sim.Value{sim.False, sim.True} {
+				scratch[idx] = v
+				b, err := p.stateBound(scratch)
+				if err != nil {
+					return nil, err
+				}
+				branches = append(branches, branch{v, b})
+			}
+			if branches[1].bound < branches[0].bound {
+				branches[0], branches[1] = branches[1], branches[0]
+			}
+			for _, br := range branches {
+				if br.bound >= sh.bestLeak()-LeakEps {
+					sh.pruned.Add(1)
+					continue
+				}
+				child := append([]sim.Value(nil), task...)
+				child[idx] = br.v
+				next = append(next, child)
+			}
+		}
+		tasks = next
+	}
+	return tasks, nil
+}

@@ -160,6 +160,10 @@ type SearchStats struct {
 	Leaves     int64 // complete states evaluated with a gate-tree descent
 	Pruned     int64 // state-tree branches cut by the leakage bound
 	Runtime    time.Duration
+	// Interrupted reports that the search was cut short — by context
+	// cancellation, an expired time limit or an exhausted leaf budget —
+	// so the solution is the best found rather than the search's fixpoint.
+	Interrupted bool
 }
 
 // Solution is a complete standby assignment.
@@ -234,13 +238,24 @@ func (p *Problem) AllSlowLeak(state []bool) (float64, error) {
 }
 
 // evalState runs the greedy gate-tree descent for a complete input state
-// and packages the result.
+// and packages the result, paying a fresh full timing analysis.
 func (p *Problem) evalState(state []bool, budget float64, stats *SearchStats) (*Solution, error) {
+	st, err := p.Timer.NewState(p.Timer.FastChoices())
+	if err != nil {
+		return nil, err
+	}
+	return p.evalStateOn(st, state, budget, stats)
+}
+
+// evalStateOn is evalState over a caller-provided timing state already
+// initialized to the all-fast assignment — search workers reset a cloned
+// baseline per leaf instead of re-analyzing from scratch.
+func (p *Problem) evalStateOn(st *sta.State, state []bool, budget float64, stats *SearchStats) (*Solution, error) {
 	states, err := p.gateStates(state)
 	if err != nil {
 		return nil, err
 	}
-	choices, err := p.assignGates(states, budget, stats)
+	choices, err := p.assignGatesOn(st, states, budget, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -259,17 +274,14 @@ func (p *Problem) evalState(state []bool, budget float64, stats *SearchStats) (*
 	}, nil
 }
 
-// assignGates performs the paper's greedy single descent of the gate tree:
-// gates visited in order of decreasing potential saving, each taking its
-// lowest-objective choice that keeps the circuit delay within budget (with
-// all unassigned gates at their fastest version), verified by incremental
-// STA.
-func (p *Problem) assignGates(gateStates []uint, budget float64, stats *SearchStats) ([]*library.Choice, error) {
+// assignGatesOn performs the paper's greedy single descent of the gate
+// tree: gates visited in order of decreasing potential saving, each taking
+// its lowest-objective choice that keeps the circuit delay within budget
+// (with all unassigned gates at their fastest version), verified by
+// incremental STA.  The provided timing state must hold the all-fast
+// assignment; it is consumed by the descent.
+func (p *Problem) assignGatesOn(state *sta.State, gateStates []uint, budget float64, stats *SearchStats) ([]*library.Choice, error) {
 	cc := p.CC
-	state, err := p.Timer.NewState(p.Timer.FastChoices())
-	if err != nil {
-		return nil, err
-	}
 	type gainGate struct {
 		gi   int
 		gain float64
@@ -304,7 +316,7 @@ func (p *Problem) assignGates(gateStates []uint, budget float64, stats *SearchSt
 			if err != nil {
 				return false, err
 			}
-			if d > budget+1e-9 {
+			if d > budget+DelayEps {
 				shadow[gi] = prev
 				return false, nil
 			}
@@ -313,7 +325,7 @@ func (p *Problem) assignGates(gateStates []uint, budget float64, stats *SearchSt
 		}
 		current := state.Choice(gi)
 		state.SetChoice(gi, ch)
-		if state.Delay() <= budget+1e-9 {
+		if state.Delay() <= budget+DelayEps {
 			return true, nil
 		}
 		state.SetChoice(gi, current) // revert

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -56,7 +57,7 @@ func (p *Problem) Refine(sol *Solution, penalty float64, maxPasses int) (*Soluti
 				}
 				stats.GateTrials++
 				state.SetChoice(gi, ch)
-				if ch.Version.MaxFactor <= 1 || state.Delay() <= budget+1e-9 {
+				if ch.Version.MaxFactor <= 1 || state.Delay() <= budget+DelayEps {
 					improved = true
 					break
 				}
@@ -89,10 +90,17 @@ func (p *Problem) Refine(sol *Solution, penalty float64, maxPasses int) (*Soluti
 }
 
 // Heuristic1Refined runs heuristic 1 followed by refinement passes.
+//
+// Deprecated: use [Problem.Solve] with Options{Algorithm: AlgHeuristic1,
+// Penalty: penalty, RefinePasses: maxPasses} instead.
 func (p *Problem) Heuristic1Refined(penalty float64, maxPasses int) (*Solution, error) {
-	sol, err := p.Heuristic1(penalty)
-	if err != nil {
-		return nil, err
+	if maxPasses < 1 {
+		return nil, fmt.Errorf("core: Refine needs at least one pass")
 	}
-	return p.Refine(sol, penalty, maxPasses)
+	return p.Solve(context.Background(), Options{
+		Algorithm:    AlgHeuristic1,
+		Penalty:      penalty,
+		Workers:      1,
+		RefinePasses: maxPasses,
+	})
 }

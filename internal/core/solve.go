@@ -1,0 +1,251 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Search tolerances, shared by every algorithm.  The seed implementation
+// grew two slightly different pruning epsilons (Exact used best-1e-12,
+// Heuristic2 used best exactly) and scattered 1e-9 slack constants over the
+// delay checks; these named constants are now the single source of truth.
+const (
+	// LeakEps is the branch-and-bound pruning tolerance on leakage (nA): a
+	// subtree whose admissible lower bound comes within LeakEps of the
+	// incumbent cannot improve it meaningfully and is cut.
+	LeakEps = 1e-12
+	// DelayEps is the feasibility slack (ps) applied to delay-budget
+	// comparisons, absorbing float noise from incremental re-propagation.
+	DelayEps = 1e-9
+)
+
+// Algorithm selects the search strategy Solve runs.
+type Algorithm uint8
+
+const (
+	// AlgHeuristic1 is the paper's first heuristic: one greedy descent of
+	// the state tree followed by one greedy descent of the gate tree.
+	AlgHeuristic1 Algorithm = iota
+	// AlgHeuristic2 is the paper's second heuristic: Heuristic 1 to seed
+	// the incumbent, then a bounded DFS of the state tree (until the
+	// context is done or the tree is exhausted), evaluating each leaf with
+	// the greedy gate-tree descent.
+	AlgHeuristic2
+	// AlgExact is the full two-tree branch-and-bound of section 5 (state
+	// tree x gate tree).  Limited to MaxExactInputs primary inputs.
+	AlgExact
+	// AlgStateOnly is the traditional sleep-vector baseline: state-tree
+	// search with every gate fixed at its fastest version.
+	AlgStateOnly
+)
+
+// String names the algorithm like the CLI flags do.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgHeuristic1:
+		return "heuristic1"
+	case AlgHeuristic2:
+		return "heuristic2"
+	case AlgExact:
+		return "exact"
+	case AlgStateOnly:
+		return "state-only"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// Progress is a point-in-time snapshot of a running search, delivered to
+// Options.Progress.  BestLeak is the incumbent total leakage (nA).
+type Progress struct {
+	StateNodes int64
+	GateTrials int64
+	Leaves     int64
+	Pruned     int64
+	BestLeak   float64
+	Elapsed    time.Duration
+}
+
+// Options configures a Solve call.  The zero value runs Heuristic 1 at a 0%
+// delay penalty on all available CPUs.
+type Options struct {
+	// Algorithm selects the search strategy.
+	Algorithm Algorithm
+	// Penalty is the delay-penalty fraction (0.05 = the paper's "5%").
+	Penalty float64
+	// TimeLimit bounds the search wall clock; <= 0 means no limit beyond
+	// the context's own deadline.  When it expires the best solution found
+	// so far is returned with Stats.Interrupted set.
+	TimeLimit time.Duration
+	// Workers is the parallel state-tree worker count; <= 0 means
+	// GOMAXPROCS.  Workers == 1 reproduces the sequential search exactly.
+	Workers int
+	// SplitDepth is the state-tree depth at which the parallel engine
+	// splits the search into independent subtree tasks; 0 picks a depth
+	// automatically from the worker count.  Ignored when Workers == 1.
+	SplitDepth int
+	// MaxLeaves, when > 0, stops the search after that many complete
+	// states have been evaluated — a machine-independent work budget that
+	// makes runs comparable across worker counts.
+	MaxLeaves int64
+	// Seed, when non-zero, shuffles the parallel subtree task order (a
+	// cheap load-balancing lever); zero keeps bound-guided order.
+	Seed int64
+	// RefinePasses, when > 0, runs that many iterated gate-refinement
+	// passes over the search result before returning it.
+	RefinePasses int
+	// Progress, when non-nil, receives periodic snapshots of the running
+	// search from a single goroutine, plus one final snapshot on return.
+	Progress func(Progress)
+	// ProgressInterval is the snapshot period (default 100ms).
+	ProgressInterval time.Duration
+}
+
+// Solve is the unified entry point of the optimizer: it runs the selected
+// algorithm under ctx, which replaces the legacy wall-clock polling —
+// cancel the context (or let Options.TimeLimit expire) and Solve promptly
+// returns the best solution found so far with Stats.Interrupted set.
+//
+// All state-tree algorithms share one incumbent upper bound, so with
+// Workers > 1 pruning tightens globally as any worker improves the best.
+// Results are deterministic for Workers == 1; for Workers > 1 the returned
+// leakage matches the sequential result within LeakEps on exhaustive
+// searches (the explored set, not the optimum, depends on scheduling only
+// when a time or leaf budget truncates the search).
+func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
+	start := time.Now()
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opt.Algorithm == AlgExact && len(p.CC.PI) > MaxExactInputs {
+		return nil, fmt.Errorf("core: exact search limited to %d inputs, circuit has %d",
+			MaxExactInputs, len(p.CC.PI))
+	}
+	if opt.TimeLimit > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
+		defer cancel()
+	}
+
+	var (
+		sol *Solution
+		err error
+	)
+	switch opt.Algorithm {
+	case AlgHeuristic1:
+		sol, err = p.heuristic1(p.Budget(opt.Penalty))
+	case AlgStateOnly:
+		sol, err = p.stateOnly()
+	case AlgHeuristic2, AlgExact:
+		sol, err = p.treeSearch(ctx, opt, start)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opt.RefinePasses > 0 {
+		sol, err = p.Refine(sol, opt.Penalty, opt.RefinePasses)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Stats are assigned exactly once, here: the seed implementation's
+	// mid-search snapshots could leave Solution.Stats disagreeing with the
+	// final counters.
+	sol.Stats.Runtime = time.Since(start)
+	if opt.Progress != nil && opt.Algorithm != AlgHeuristic2 && opt.Algorithm != AlgExact {
+		// Tree searches already reported through their shared counters;
+		// the single-descent algorithms get one final snapshot here.
+		opt.Progress(Progress{
+			StateNodes: sol.Stats.StateNodes,
+			GateTrials: sol.Stats.GateTrials,
+			Leaves:     sol.Stats.Leaves,
+			Pruned:     sol.Stats.Pruned,
+			BestLeak:   sol.Leak,
+			Elapsed:    sol.Stats.Runtime,
+		})
+	}
+	return sol, nil
+}
+
+// treeSearch runs the bounded state-tree search (Heuristic 2 or Exact):
+// Heuristic 1 seeds the shared incumbent, then the tree is explored
+// sequentially (Workers == 1) or by a pool of workers over subtree tasks.
+func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) (*Solution, error) {
+	budget := p.Budget(opt.Penalty)
+	seed, err := p.heuristic1(budget)
+	if err != nil {
+		return nil, err
+	}
+
+	sh := newSharedSearch(p, opt, budget, seed)
+	if ctx.Err() != nil {
+		// Already canceled: the incumbent is the answer (the legacy
+		// Heuristic2 behaved this way for a zero time budget).
+		sh.markInterrupted()
+		return sh.finish(start), nil
+	}
+
+	// A watcher translates ctx cancellation into the lock-free stop flag
+	// the workers poll, replacing the legacy time.Now() polling.
+	watchDone := make(chan struct{})
+	var watchOnce sync.Once
+	stopWatcher := func() { watchOnce.Do(func() { close(watchDone) }) }
+	defer stopWatcher()
+	go func() {
+		select {
+		case <-ctx.Done():
+			sh.markInterrupted()
+		case <-watchDone:
+		}
+	}()
+
+	var progressDone chan struct{}
+	if opt.Progress != nil {
+		progressDone = make(chan struct{})
+		interval := opt.ProgressInterval
+		if interval <= 0 {
+			interval = 100 * time.Millisecond
+		}
+		tick := time.NewTicker(interval)
+		go func() {
+			defer close(progressDone)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					opt.Progress(sh.snapshot(start))
+				case <-watchDone:
+					return
+				}
+			}
+		}()
+	}
+
+	var searchErr error
+	if opt.Workers == 1 || len(p.piOrder) == 0 {
+		var w *worker
+		w, searchErr = sh.newWorker()
+		if searchErr == nil {
+			searchErr = w.searchFromRoot()
+		}
+	} else {
+		searchErr = sh.runParallel(opt)
+	}
+
+	stopWatcher()
+	if progressDone != nil {
+		<-progressDone
+		if searchErr == nil {
+			opt.Progress(sh.snapshot(start))
+		}
+	}
+	if searchErr != nil {
+		return nil, searchErr
+	}
+	return sh.finish(start), nil
+}

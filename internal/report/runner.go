@@ -6,6 +6,7 @@
 package report
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"time"
@@ -30,6 +31,9 @@ type Runner struct {
 	// The paper used 1800s; the default here is far smaller so the full
 	// evaluation completes in minutes.
 	Heu2Limit time.Duration
+	// Workers is the parallel search width passed to core.Solve; 0 or 1
+	// keeps the runs sequential and deterministic.
+	Workers int
 
 	circuits map[string]*netlist.Circuit
 	problems map[problemKey]*core.Problem
@@ -96,6 +100,23 @@ func (r *Runner) Problem(name string, opt library.Options, obj core.Objective) (
 	}
 	r.problems[key] = p
 	return p, nil
+}
+
+// Solve runs one search through the redesigned entry point under the
+// runner's environment (worker count, seed); limit only matters for the
+// tree-searching algorithms.
+func (r *Runner) Solve(p *core.Problem, alg core.Algorithm, penalty float64, limit time.Duration) (*core.Solution, error) {
+	workers := r.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	return p.Solve(context.Background(), core.Options{
+		Algorithm: alg,
+		Penalty:   penalty,
+		TimeLimit: limit,
+		Workers:   workers,
+		Seed:      r.Seed,
+	})
 }
 
 // AllNames returns the benchmark names in paper order.

@@ -194,11 +194,11 @@ func (r *Runner) Table3(names []string, penalties []float64) ([]Table3Row, error
 		}
 		row := Table3Row{Name: name, AvgUA: microamps(avg)}
 		for _, pen := range penalties {
-			h1, err := p.Heuristic1(pen)
+			h1, err := r.Solve(p, core.AlgHeuristic1, pen, 0)
 			if err != nil {
 				return nil, err
 			}
-			h2, err := p.Heuristic2(pen, r.Heu2Limit)
+			h2, err := r.Solve(p, core.AlgHeuristic2, pen, r.Heu2Limit)
 			if err != nil {
 				return nil, err
 			}
@@ -290,7 +290,7 @@ func (r *Runner) Table4(names []string, penalties []float64) ([]Table4Row, error
 		if err != nil {
 			return nil, err
 		}
-		so, err := p.StateOnly()
+		so, err := r.Solve(p, core.AlgStateOnly, 0, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -303,11 +303,11 @@ func (r *Runner) Table4(names []string, penalties []float64) ([]Table4Row, error
 			StateOnlyX:  avg / so.Leak,
 		}
 		for _, pen := range penalties {
-			vt, err := pvt.Heuristic1(pen)
+			vt, err := r.Solve(pvt, core.AlgHeuristic1, pen, 0)
 			if err != nil {
 				return nil, err
 			}
-			h1, err := p.Heuristic1(pen)
+			h1, err := r.Solve(p, core.AlgHeuristic1, pen, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -400,7 +400,7 @@ func (r *Runner) Table5(names []string, penalty float64) ([]Table5Row, error) {
 				}
 				row.AvgUA = microamps(avg)
 			}
-			sol, err := p.Heuristic1(penalty)
+			sol, err := r.Solve(p, core.AlgHeuristic1, penalty, 0)
 			if err != nil {
 				return nil, err
 			}
@@ -462,13 +462,13 @@ func (r *Runner) Figure5(name string, penalties []float64) ([]Fig5Point, error) 
 	if err != nil {
 		return nil, err
 	}
-	so, err := p.StateOnly()
+	so, err := r.Solve(p, core.AlgStateOnly, 0, 0)
 	if err != nil {
 		return nil, err
 	}
 	var pts []Fig5Point
 	for _, pen := range penalties {
-		sol, err := p.Heuristic1(pen)
+		sol, err := r.Solve(p, core.AlgHeuristic1, pen, 0)
 		if err != nil {
 			return nil, err
 		}

@@ -121,6 +121,40 @@ func (t *Timer) NewState(choices []*library.Choice) (*State, error) {
 // Choice returns the current choice of a gate.
 func (s *State) Choice(gate int) *library.Choice { return s.choices[gate] }
 
+// Clone returns an independent copy of a quiescent timing state.  The copy
+// shares the read-only Timer but owns its arrival/slew/choice storage, so a
+// clone can be re-timed concurrently with the original.  Cloning is a plain
+// O(nets) copy — far cheaper than NewState's full re-analysis — which is what
+// lets every parallel search worker start from a precomputed baseline.
+func (s *State) Clone() *State {
+	c := &State{
+		t:       s.t,
+		choices: append([]*library.Choice(nil), s.choices...),
+		arrR:    append([]float64(nil), s.arrR...),
+		arrF:    append([]float64(nil), s.arrF...),
+		slewR:   append([]float64(nil), s.slewR...),
+		slewF:   append([]float64(nil), s.slewF...),
+		dirty:   &gateHeap{},
+		inQueue: make([]bool, len(s.t.CC.Gates)),
+	}
+	return c
+}
+
+// CopyFrom overwrites s with o's choices and timing without any
+// re-analysis.  Both states must belong to the same Timer and be quiescent
+// (no propagation in flight).  It is the reset operation of the search
+// workers: one copy per leaf instead of one full analysis per leaf.
+func (s *State) CopyFrom(o *State) {
+	if s.t != o.t {
+		panic("sta: CopyFrom across different timers")
+	}
+	copy(s.choices, o.choices)
+	copy(s.arrR, o.arrR)
+	copy(s.arrF, o.arrF)
+	copy(s.slewR, o.slewR)
+	copy(s.slewF, o.slewF)
+}
+
 // load computes the capacitance on a net from its fan-out pins.
 func (s *State) load(net int) float64 {
 	cc := s.t.CC

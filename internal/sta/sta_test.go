@@ -251,3 +251,76 @@ func TestArrivalMonotoneAlongChain(t *testing.T) {
 		prev = a
 	}
 }
+
+// Clone must produce an independent state: identical timing, no coupling
+// when either side is re-timed afterwards.
+func TestCloneIndependence(t *testing.T) {
+	cc := chainCircuit(t, 8)
+	tm := newTimer(t, cc)
+	orig, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := orig.Clone()
+	if clone.Delay() != orig.Delay() {
+		t.Fatalf("clone delay %g != original %g", clone.Delay(), orig.Delay())
+	}
+	// Re-time the clone; the original must not move.
+	before := orig.Delay()
+	slow := tm.Cells[3].MinLeakChoice(0)
+	clone.SetChoice(3, slow)
+	if orig.Delay() != before {
+		t.Error("mutating the clone changed the original")
+	}
+	if clone.Choice(3) != slow || orig.Choice(3) == slow {
+		t.Error("choice storage is shared between clone and original")
+	}
+	// And the clone's incremental result must match a fresh analysis.
+	choices := tm.FastChoices()
+	choices[3] = slow
+	want, err := tm.Analyze(choices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(clone.Delay()-want) > 1e-9 {
+		t.Errorf("clone delay %g != fresh analysis %g", clone.Delay(), want)
+	}
+}
+
+// CopyFrom must reset a diverged state to the source without re-analysis.
+func TestCopyFromResets(t *testing.T) {
+	cc := chainCircuit(t, 8)
+	tm := newTimer(t, cc)
+	base, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := base.Clone()
+	for gi := 0; gi < 4; gi++ {
+		work.SetChoice(gi, tm.Cells[gi].MinLeakChoice(0))
+	}
+	if work.Delay() == base.Delay() {
+		t.Fatal("expected the diverged state to be slower")
+	}
+	work.CopyFrom(base)
+	if work.Delay() != base.Delay() {
+		t.Errorf("CopyFrom delay %g != base %g", work.Delay(), base.Delay())
+	}
+	for gi := range tm.Cells {
+		if work.Choice(gi) != base.Choice(gi) {
+			t.Fatalf("gate %d choice not restored", gi)
+		}
+	}
+	// Mismatched timers must panic.
+	other := newTimer(t, chainCircuit(t, 8))
+	otherState, err := other.NewState(other.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("CopyFrom across timers did not panic")
+		}
+	}()
+	work.CopyFrom(otherState)
+}

@@ -1,0 +1,61 @@
+package svto
+
+import (
+	"io"
+
+	"svto/internal/liberty"
+	"svto/internal/netlist"
+	"svto/internal/power"
+	"svto/internal/standby"
+	"svto/internal/verilog"
+)
+
+// Report renders the per-gate power breakdown as a human-readable table,
+// listing the topN leakiest gates (0 lists every gate).
+func (r *Result) Report(topN int) (string, error) {
+	rep, err := power.Analyze(r.prob, r.sol)
+	if err != nil {
+		return "", err
+	}
+	return rep.Format(topN), nil
+}
+
+// WritePowerCSV writes the full per-gate power breakdown as CSV.
+func (r *Result) WritePowerCSV(w io.Writer) error {
+	rep, err := power.Analyze(r.prob, r.sol)
+	if err != nil {
+		return err
+	}
+	return rep.WriteCSV(w)
+}
+
+// WriteStandbyBench wraps the optimized circuit with the sleep-vector
+// forcing logic (one SLEEP input, a MUX per primary input) and writes it
+// in .bench format.  In functional mode (SLEEP=0) the wrapped circuit
+// computes the original outputs; asserting SLEEP drives the optimized
+// standby state.
+func (r *Result) WriteStandbyBench(w io.Writer) error {
+	wrapped, err := standby.Wrap(r.circ, r.sol.State)
+	if err != nil {
+		return err
+	}
+	return netlist.WriteBench(w, wrapped)
+}
+
+// WriteBench writes the optimized (mapped, optionally fused) circuit in
+// .bench format, without the standby wrapper.
+func (r *Result) WriteBench(w io.Writer) error {
+	return netlist.WriteBench(w, r.circ)
+}
+
+// WriteVerilog writes the optimized circuit as structural Verilog whose
+// instances reference the Liberty cells emitted by WriteLiberty.
+func (r *Result) WriteVerilog(w io.Writer) error {
+	return verilog.Write(w, r.circ)
+}
+
+// WriteLiberty writes the standby cell library used by this result in
+// Liberty format, for handoff to downstream signoff tools.
+func (r *Result) WriteLiberty(w io.Writer) error {
+	return liberty.Write(w, liberty.Export(r.lib))
+}

@@ -1,0 +1,351 @@
+// Package svto is the public entry point of the standby-leakage optimizer:
+// simultaneous assignment of the sleep-mode input state and the per-gate
+// Vt/Tox cell versions of a combinational circuit, minimizing total standby
+// leakage (subthreshold + gate tunneling) under a delay constraint, after
+// Lee, Deogun, Blaauw and Sylvester, DATE 2004.
+//
+// It wraps the internal netlist/library/timing/search machinery behind a
+// single call:
+//
+//	res, err := svto.Optimize(ctx, svto.Config{
+//		Bench:   strings.NewReader(benchText), // ISCAS .bench netlist
+//		Penalty: 0.05,                         // 5% delay budget
+//	})
+//
+// so applications do not import svto/internal/... packages.  Cancel the
+// context (or set Config.TimeLimit) to stop a long search early with the
+// best solution found so far; set Config.Workers to spread the search over
+// multiple CPUs.
+package svto
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"svto/internal/core"
+	"svto/internal/gen"
+	"svto/internal/library"
+	"svto/internal/netlist"
+	"svto/internal/sta"
+	"svto/internal/tech"
+	"svto/internal/techmap"
+	"svto/internal/verilog"
+)
+
+// Algorithm names a search strategy.
+type Algorithm string
+
+const (
+	// Heuristic1 runs one greedy state-tree descent followed by one greedy
+	// gate-tree descent — the fast default.
+	Heuristic1 Algorithm = "heuristic1"
+	// Heuristic2 seeds with Heuristic1, then searches the state tree until
+	// the time limit or context cancels it.
+	Heuristic2 Algorithm = "heuristic2"
+	// Exact runs the full two-tree branch-and-bound (small circuits only).
+	Exact Algorithm = "exact"
+	// StateOnly searches the sleep vector with all gates at their fastest
+	// version — the traditional baseline.
+	StateOnly Algorithm = "state-only"
+)
+
+// Library names a cell-library construction policy.
+type Library string
+
+const (
+	// Lib4Option builds up to four Vt/Tox trade-off versions per state.
+	Lib4Option Library = "4opt"
+	// Lib2Option restricts each state to two versions.
+	Lib2Option Library = "2opt"
+	// Lib4OptionUniform is Lib4Option with uniform stack assignment.
+	Lib4OptionUniform Library = "4opt-uniform"
+	// Lib2OptionUniform is Lib2Option with uniform stack assignment.
+	Lib2OptionUniform Library = "2opt-uniform"
+)
+
+// Progress is a snapshot of a running search, delivered to Config.Progress.
+type Progress struct {
+	StateNodes int64         // state-tree nodes visited
+	GateTrials int64         // gate-tree version trials
+	Leaves     int64         // complete states evaluated
+	Pruned     int64         // branches cut by the leakage bound
+	BestLeakNA float64       // incumbent total leakage (nA)
+	Elapsed    time.Duration // time since Optimize started
+}
+
+// Config describes one optimization run.  Exactly one of Benchmark, Bench
+// or Verilog selects the design; everything else has working defaults.
+type Config struct {
+	// Benchmark names a built-in benchmark profile (c432..c7552, alu64).
+	Benchmark string
+	// Bench reads an ISCAS-85 .bench netlist.
+	Bench io.Reader
+	// Verilog reads a gate-level structural Verilog netlist.
+	Verilog io.Reader
+	// Name labels the design when read from Bench or Verilog.
+	Name string
+
+	// Fuse runs the AOI/OAI peephole fusion pass before optimizing.
+	Fuse bool
+
+	// Algorithm defaults to Heuristic1.
+	Algorithm Algorithm
+	// Penalty is the delay-penalty fraction (0.05 = 5%; 0 keeps the
+	// circuit at its fastest-implementation delay).
+	Penalty float64
+	// TimeLimit bounds the search wall clock (mainly for Heuristic2);
+	// 0 means no limit beyond the context's deadline.
+	TimeLimit time.Duration
+	// Workers is the parallel search width; 0 uses all CPUs, 1 is the
+	// deterministic sequential search.
+	Workers int
+	// RefinePasses > 0 adds iterated gate-refinement passes to the result.
+	RefinePasses int
+	// Library defaults to Lib4Option.
+	Library Library
+
+	// BaselineVectors, when > 0, estimates the unoptimized average leakage
+	// over that many random vectors (Result.BaselineNA, ReductionX).
+	BaselineVectors int
+	// Seed drives the baseline vectors and parallel task shuffling.
+	Seed int64
+
+	// Progress, when non-nil, receives periodic search snapshots.
+	Progress func(Progress)
+}
+
+// GateAssignment is one gate's optimized cell-version choice.
+type GateAssignment struct {
+	Gate    string  // output net name
+	Cell    string  // library cell (INV, NAND2, ...)
+	Version string  // selected Vt/Tox version name
+	Kind    string  // version kind (fast, dual, ...)
+	LeakNA  float64 // standby leakage in this state (nA)
+}
+
+// Stats summarizes the search effort.
+type Stats struct {
+	StateNodes  int64
+	GateTrials  int64
+	Leaves      int64
+	Pruned      int64
+	Runtime     time.Duration
+	Interrupted bool // search cut short by cancellation or limits
+}
+
+// Result is a complete standby assignment for the optimized design.
+type Result struct {
+	Design string
+	// Inputs and SleepVector give the standby value per primary input.
+	Inputs      []string
+	SleepVector []bool
+	// Gates lists the per-gate version assignment in compiled order.
+	Gates []GateAssignment
+	// LeakNA is the optimized total standby leakage (nA); IsubNA and
+	// IgateNA are its subthreshold and gate-tunneling components.
+	LeakNA, IsubNA, IgateNA float64
+	// DelayPS is the post-assignment circuit delay; BudgetPS the delay
+	// constraint; DminPS/DmaxPS the all-fast and all-slow anchors.
+	DelayPS, BudgetPS, DminPS, DmaxPS float64
+	// BaselineNA is the random-vector average leakage (0 unless
+	// Config.BaselineVectors was set).
+	BaselineNA float64
+	Stats      Stats
+
+	circ *netlist.Circuit
+	lib  *library.Library
+	prob *core.Problem
+	sol  *core.Solution
+}
+
+// ReductionX is the headline metric: baseline over optimized leakage.
+// It returns 0 when no baseline was requested.
+func (r *Result) ReductionX() float64 {
+	if r.BaselineNA == 0 {
+		return 0
+	}
+	return r.BaselineNA / r.LeakNA
+}
+
+// Optimize loads the design, builds (or reuses the cached) standby cell
+// library, and runs the selected search under ctx.
+func Optimize(ctx context.Context, cfg Config) (*Result, error) {
+	circ, err := loadDesign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if !isMapped(circ) {
+		if circ, err = techmap.Map(circ); err != nil {
+			return nil, fmt.Errorf("svto: technology mapping: %w", err)
+		}
+	}
+	if cfg.Fuse {
+		if circ, err = techmap.Optimize(circ); err != nil {
+			return nil, fmt.Errorf("svto: fusion pass: %w", err)
+		}
+	}
+
+	opt, err := libraryOptions(cfg.Library)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := library.Cached(tech.Default(), opt)
+	if err != nil {
+		return nil, err
+	}
+	prob, err := core.NewProblem(circ, lib, sta.DefaultConfig(), core.ObjTotal)
+	if err != nil {
+		return nil, err
+	}
+
+	alg, err := coreAlgorithm(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	coreOpts := core.Options{
+		Algorithm:    alg,
+		Penalty:      cfg.Penalty,
+		TimeLimit:    cfg.TimeLimit,
+		Workers:      cfg.Workers,
+		Seed:         cfg.Seed,
+		RefinePasses: cfg.RefinePasses,
+	}
+	if cfg.Progress != nil {
+		coreOpts.Progress = func(p core.Progress) {
+			cfg.Progress(Progress{
+				StateNodes: p.StateNodes,
+				GateTrials: p.GateTrials,
+				Leaves:     p.Leaves,
+				Pruned:     p.Pruned,
+				BestLeakNA: p.BestLeak,
+				Elapsed:    p.Elapsed,
+			})
+		}
+	}
+	sol, err := prob.Solve(ctx, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Design:      circ.Name,
+		Inputs:      append([]string(nil), circ.Inputs...),
+		SleepVector: append([]bool(nil), sol.State...),
+		LeakNA:      sol.Leak,
+		IsubNA:      sol.Isub,
+		IgateNA:     sol.Leak - sol.Isub,
+		DelayPS:     sol.Delay,
+		BudgetPS:    prob.Budget(cfg.Penalty),
+		DminPS:      prob.Dmin,
+		DmaxPS:      prob.Dmax,
+		Stats: Stats{
+			StateNodes:  sol.Stats.StateNodes,
+			GateTrials:  sol.Stats.GateTrials,
+			Leaves:      sol.Stats.Leaves,
+			Pruned:      sol.Stats.Pruned,
+			Runtime:     sol.Stats.Runtime,
+			Interrupted: sol.Stats.Interrupted,
+		},
+		circ: circ,
+		lib:  lib,
+		prob: prob,
+		sol:  sol,
+	}
+	for gi := range prob.CC.Gates {
+		ch := sol.Choices[gi]
+		res.Gates = append(res.Gates, GateAssignment{
+			Gate:    prob.CC.NetName[prob.CC.Gates[gi].Out],
+			Cell:    prob.Timer.Cells[gi].Template.Name,
+			Version: ch.Version.Name,
+			Kind:    ch.Kind.String(),
+			LeakNA:  ch.Leak,
+		})
+	}
+	if cfg.BaselineVectors > 0 {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		avg, err := prob.AverageRandomLeak(seed, cfg.BaselineVectors)
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineNA = avg
+	}
+	return res, nil
+}
+
+// loadDesign resolves the configured input source into a circuit.
+func loadDesign(cfg Config) (*netlist.Circuit, error) {
+	sources := 0
+	for _, set := range []bool{cfg.Benchmark != "", cfg.Bench != nil, cfg.Verilog != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("svto: set exactly one of Benchmark, Bench or Verilog (got %d)", sources)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "design"
+	}
+	switch {
+	case cfg.Benchmark != "":
+		prof, err := gen.ByName(cfg.Benchmark)
+		if err != nil {
+			return nil, err
+		}
+		return prof.Build()
+	case cfg.Bench != nil:
+		return netlist.ReadBench(cfg.Bench, name)
+	default:
+		return verilog.Read(cfg.Verilog, name)
+	}
+}
+
+// isMapped reports whether every gate is directly library-backed.
+func isMapped(c *netlist.Circuit) bool {
+	for i := range c.Gates {
+		if c.Gates[i].CellName() == "" {
+			return false
+		}
+	}
+	return true
+}
+
+func coreAlgorithm(a Algorithm) (core.Algorithm, error) {
+	switch a {
+	case "", Heuristic1:
+		return core.AlgHeuristic1, nil
+	case Heuristic2:
+		return core.AlgHeuristic2, nil
+	case Exact:
+		return core.AlgExact, nil
+	case StateOnly:
+		return core.AlgStateOnly, nil
+	default:
+		return 0, fmt.Errorf("svto: unknown algorithm %q", a)
+	}
+}
+
+func libraryOptions(l Library) (library.Options, error) {
+	switch l {
+	case "", Lib4Option:
+		return library.DefaultOptions(), nil
+	case Lib2Option:
+		return library.TwoOption(), nil
+	case Lib4OptionUniform:
+		o := library.DefaultOptions()
+		o.UniformStack = true
+		return o, nil
+	case Lib2OptionUniform:
+		o := library.TwoOption()
+		o.UniformStack = true
+		return o, nil
+	default:
+		return library.Options{}, fmt.Errorf("svto: unknown library policy %q", l)
+	}
+}
