@@ -29,10 +29,11 @@ func (p *Problem) Heuristic1(penalty float64) (*Solution, error) {
 // seeding of the tree searches.  Stats.Runtime is stamped by Solve.
 func (p *Problem) heuristic1(budget float64) (*Solution, error) {
 	var stats SearchStats
-	state, err := p.greedyState(&stats, p.stateBound)
+	eng, err := p.newBoundEngine()
 	if err != nil {
 		return nil, err
 	}
+	state := p.greedyState(&stats, eng)
 	sol, err := p.evalState(state, budget, &stats)
 	if err != nil {
 		return nil, err
@@ -41,33 +42,46 @@ func (p *Problem) heuristic1(budget float64) (*Solution, error) {
 	return sol, nil
 }
 
-// greedyState performs one bound-guided descent of the state tree.
-func (p *Problem) greedyState(stats *SearchStats, bound func([]sim.Value) (float64, error)) ([]bool, error) {
+// greedyState performs one bound-guided descent of the state tree on the
+// incremental bound engine (each input takes the branch with the lower
+// partial-state bound).  A nil engine means bounds are disabled: every
+// input defaults to the 0 branch, matching the all-zero-bound behavior of
+// the NoStateBounds ablation.
+func (p *Problem) greedyState(stats *SearchStats, eng *sim.Inc3) []bool {
 	pi := make([]sim.Value, len(p.CC.PI))
 	for i := range pi {
 		pi[i] = sim.X
 	}
 	for _, idx := range p.piOrder {
 		stats.StateNodes++
-		pi[idx] = sim.False
-		b0, err := bound(pi)
-		if err != nil {
-			return nil, err
-		}
-		pi[idx] = sim.True
-		b1, err := bound(pi)
-		if err != nil {
-			return nil, err
-		}
-		if b0 <= b1 {
+		if eng == nil {
 			pi[idx] = sim.False
+			continue
+		}
+		eng.Assign(idx, sim.False)
+		b0 := eng.Bound()
+		eng.Undo()
+		eng.Assign(idx, sim.True)
+		b1 := eng.Bound()
+		if b0 <= b1 {
+			eng.Undo()
+			eng.Assign(idx, sim.False)
+			pi[idx] = sim.False
+		} else {
+			pi[idx] = sim.True
+		}
+	}
+	if eng != nil {
+		// Leave the engine back at the all-X root so it can be reused.
+		for range p.piOrder {
+			eng.Undo()
 		}
 	}
 	out := make([]bool, len(pi))
 	for i, v := range pi {
 		out[i] = v == sim.True
 	}
-	return out, nil
+	return out
 }
 
 // Heuristic2 is the paper's second heuristic: Heuristic1's descent followed
@@ -112,37 +126,14 @@ func (p *Problem) StateOnly() (*Solution, error) {
 // stateOnly is the implementation behind AlgStateOnly.
 func (p *Problem) stateOnly() (*Solution, error) {
 	var stats SearchStats
-	// Bound uses the fast-version leakage instead of the best choice.
-	fastMinAny := make([]float64, len(p.CC.Gates))
-	for gi := range p.CC.Gates {
-		leaks := p.Timer.Cells[gi].Fast().Leak
-		m := leaks[0]
-		for _, l := range leaks[1:] {
-			if l < m {
-				m = l
-			}
-		}
-		fastMinAny[gi] = m
-	}
-	bound := func(pi []sim.Value) (float64, error) {
-		vals, err := sim.Eval3(p.CC, pi)
-		if err != nil {
-			return 0, err
-		}
-		b := 0.0
-		for gi := range p.CC.Gates {
-			if s, known := sim.KnownGateState(&p.CC.Gates[gi], vals); known {
-				b += p.Timer.Cells[gi].Fast().Leak[s]
-			} else {
-				b += fastMinAny[gi]
-			}
-		}
-		return b, nil
-	}
-	state, err := p.greedyState(&stats, bound)
+	// Same engine, different contribution table: the bound uses the
+	// fast-version leakage instead of the best choice, since no Vt or Tox
+	// assignment is available to this baseline.
+	eng, err := p.fastBoundEngine()
 	if err != nil {
 		return nil, err
 	}
+	state := p.greedyState(&stats, eng)
 	states, err := p.gateStates(state)
 	if err != nil {
 		return nil, err

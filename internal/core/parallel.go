@@ -22,8 +22,10 @@ type sharedSearch struct {
 	alg    Algorithm
 	budget float64
 
-	// bestBits holds math.Float64bits of the incumbent leakage so the
-	// pruning comparison is a single atomic load.
+	// bestBits holds math.Float64bits of the incumbent's *objective* value
+	// (total leakage for ObjTotal, subthreshold leakage for ObjIsubOnly) so
+	// the pruning comparison is a single atomic load in the same units as
+	// the state-tree bounds and gate-tree suffix sums.
 	bestBits atomic.Uint64
 	mu       sync.Mutex
 	best     *Solution
@@ -50,7 +52,9 @@ type sharedSearch struct {
 
 // newSharedSearch seeds the incumbent with Heuristic 1's solution (the
 // paper's "good bound during the first downward traversal") and folds its
-// counters into the shared totals.
+// counters into the shared totals.  The seed descent is free: its leaf does
+// not count against the MaxLeaves budget, so MaxLeaves == n explores up to
+// n tree leaves beyond the seed.
 func newSharedSearch(p *Problem, opt Options, budget float64, seed *Solution) *sharedSearch {
 	sh := &sharedSearch{
 		p:         p,
@@ -58,35 +62,54 @@ func newSharedSearch(p *Problem, opt Options, budget float64, seed *Solution) *s
 		budget:    budget,
 		maxLeaves: opt.MaxLeaves,
 	}
-	sh.bestBits.Store(math.Float64bits(seed.Leak))
+	sh.bestBits.Store(math.Float64bits(p.objValue(seed)))
 	sh.best = seed
 	sh.stateNodes.Store(seed.Stats.StateNodes)
 	sh.gateTrials.Store(seed.Stats.GateTrials)
 	sh.leaves.Store(seed.Stats.Leaves)
 	sh.pruned.Store(seed.Stats.Pruned)
-	sh.leafTickets.Store(seed.Stats.Leaves)
 	return sh
 }
 
-func (sh *sharedSearch) bestLeak() float64 {
+// bestObj returns the incumbent's objective value — the units every bound
+// comparison and pruning decision uses.
+func (sh *sharedSearch) bestObj() float64 {
 	return math.Float64frombits(sh.bestBits.Load())
 }
 
-// offer installs sol as the incumbent if it improves the bound; the fast
-// CAS loop publishes the new bound before the slower solution swap so other
-// workers prune against it immediately.
+// incumbentLeak reads the incumbent's total leakage for Progress snapshots
+// (equal to bestObj for ObjTotal; under ObjIsubOnly the reported leakage is
+// the total of the minimum-Isub incumbent).
+func (sh *sharedSearch) incumbentLeak() float64 {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.best.Leak
+}
+
+// offer installs sol as the incumbent if it improves the objective bound;
+// the fast CAS loop publishes the new bound before the slower solution swap
+// so other workers prune against it immediately.  Equal-objective solutions
+// tie-break on total leakage so reported numbers stay deterministic under
+// ObjIsubOnly (where many choices can share an Isub value).
 func (sh *sharedSearch) offer(sol *Solution) {
+	obj := sh.p.objValue(sol)
 	for {
 		cur := sh.bestBits.Load()
-		if sol.Leak >= math.Float64frombits(cur) {
+		curObj := math.Float64frombits(cur)
+		if obj > curObj {
 			return
 		}
-		if sh.bestBits.CompareAndSwap(cur, math.Float64bits(sol.Leak)) {
+		if obj == curObj {
+			// Possible tie-break improvement: resolved under the lock.
+			break
+		}
+		if sh.bestBits.CompareAndSwap(cur, math.Float64bits(obj)) {
 			break
 		}
 	}
 	sh.mu.Lock()
-	if sh.best == nil || sol.Leak < sh.best.Leak {
+	if best := sh.best; best == nil || obj < sh.p.objValue(best) ||
+		(obj == sh.p.objValue(best) && sol.Leak < best.Leak) {
 		sh.best = sol
 	}
 	sh.mu.Unlock()
@@ -116,7 +139,7 @@ func (sh *sharedSearch) snapshot(start time.Time) Progress {
 		GateTrials: sh.gateTrials.Load(),
 		Leaves:     sh.leaves.Load(),
 		Pruned:     sh.pruned.Load(),
-		BestLeak:   sh.bestLeak(),
+		BestLeak:   sh.incumbentLeak(),
 		Elapsed:    time.Since(start),
 	}
 }
@@ -147,11 +170,13 @@ func (sh *sharedSearch) sharedBaseline() (*sta.State, error) {
 }
 
 // worker is one search goroutine: its own partial-state vector, incremental
-// timing scratch and local counters (flushed to the shared totals at leaf
-// granularity, keeping the hot path free of atomic traffic).
+// bound engine, incremental timing scratch and local counters (flushed to
+// the shared totals at leaf granularity, keeping the hot path free of
+// atomic traffic).
 type worker struct {
 	sh      *sharedSearch
 	pi      []sim.Value
+	inc     *sim.Inc3 // incremental bound engine (nil: bounds ablated)
 	stats   SearchStats
 	flushed SearchStats
 	base    *sta.State // all-fast reference timing
@@ -163,9 +188,14 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 	if err != nil {
 		return nil, err
 	}
+	inc, err := sh.p.newBoundEngine()
+	if err != nil {
+		return nil, err
+	}
 	w := &worker{
 		sh:      sh,
 		pi:      make([]sim.Value, len(sh.p.CC.PI)),
+		inc:     inc,
 		base:    base,
 		scratch: base.Clone(),
 	}
@@ -173,6 +203,30 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 		w.pi[i] = sim.X
 	}
 	return w, nil
+}
+
+// enterPrefix syncs the bound engine to a task's partial assignment (w.pi
+// must already hold it) and returns the number of Assigns to undo when the
+// subtree is done.
+func (w *worker) enterPrefix() int {
+	if w.inc == nil {
+		return 0
+	}
+	n := 0
+	for i, v := range w.pi {
+		if v != sim.X {
+			w.inc.Assign(i, v)
+			n++
+		}
+	}
+	return n
+}
+
+// leavePrefix unwinds enterPrefix's assignments.
+func (w *worker) leavePrefix(n int) {
+	for ; n > 0; n-- {
+		w.inc.Undo()
+	}
 }
 
 // flush publishes the worker's counter deltas to the shared totals.
@@ -192,9 +246,13 @@ func (w *worker) searchFromRoot() error {
 }
 
 // dfs is the bound-guided state-tree descent: at each level the two branch
-// bounds are computed by 3-valued simulation, the tighter branch explored
-// first, and branches whose admissible bound cannot beat the shared
-// incumbent are pruned.
+// bounds are computed by the incremental engine (an Assign/Undo pair per
+// branch, touching only the input's fanout cone), the tighter branch
+// explored first, and branches whose admissible bound cannot beat the
+// shared incumbent are pruned.  The hot path allocates nothing.
+//
+// On an error return the engine may hold unpaired Assigns; errors abort the
+// whole search, so no caller reuses the worker afterwards.
 func (w *worker) dfs(depth int) error {
 	sh := w.sh
 	if sh.stop.Load() {
@@ -206,30 +264,36 @@ func (w *worker) dfs(depth int) error {
 	}
 	idx := p.piOrder[depth]
 	w.stats.StateNodes++
-	type branch struct {
+	var branches [2]struct {
 		v     sim.Value
 		bound float64
 	}
-	branches := make([]branch, 0, 2)
-	for _, v := range []sim.Value{sim.False, sim.True} {
-		w.pi[idx] = v
-		b, err := p.stateBound(w.pi)
-		if err != nil {
-			return err
+	for k, v := range [2]sim.Value{sim.False, sim.True} {
+		branches[k].v = v
+		if w.inc != nil {
+			w.inc.Assign(idx, v)
+			branches[k].bound = w.inc.Bound()
+			w.inc.Undo()
 		}
-		branches = append(branches, branch{v, b})
 	}
 	if branches[1].bound < branches[0].bound {
 		branches[0], branches[1] = branches[1], branches[0]
 	}
 	for _, br := range branches {
-		if br.bound >= sh.bestLeak()-LeakEps {
+		if br.bound >= sh.bestObj()-LeakEps {
 			w.stats.Pruned++
 			continue
 		}
 		w.pi[idx] = br.v
-		if err := w.dfs(depth + 1); err != nil {
+		if w.inc != nil {
+			w.inc.Assign(idx, br.v)
+		}
+		err := w.dfs(depth + 1)
+		if err != nil {
 			return err
+		}
+		if w.inc != nil {
+			w.inc.Undo()
 		}
 	}
 	w.pi[idx] = sim.X
@@ -302,7 +366,7 @@ func (w *worker) exactLeaf(state []bool) error {
 		if sh.stop.Load() {
 			return nil
 		}
-		if leakSoFar+suffix[pos] >= sh.bestLeak()-LeakEps {
+		if leakSoFar+suffix[pos] >= sh.bestObj()-LeakEps {
 			return nil
 		}
 		if pos == len(order) {
@@ -391,8 +455,11 @@ func (sh *sharedSearch) runParallel(opt Options) error {
 			sh.stop.Store(true)
 		})
 	}
+	// Never spawn more workers than tasks: when the frontier pruned every
+	// subtree there is nothing to do, and each idle worker would still pay
+	// for a baseline clone and a bound engine.
 	workers := opt.Workers
-	if workers > len(tasks) && len(tasks) > 0 {
+	if workers > len(tasks) {
 		workers = len(tasks)
 	}
 	for i := 0; i < workers; i++ {
@@ -406,10 +473,12 @@ func (sh *sharedSearch) runParallel(opt Options) error {
 			defer wg.Done()
 			for task := range queue {
 				copy(w.pi, task)
+				depth := w.enterPrefix()
 				if err := w.dfs(sh.splitDepth); err != nil {
 					fail(err)
 					break
 				}
+				w.leavePrefix(depth)
 			}
 			// Drain so the feeder never blocks after a worker fails.
 			for range queue {
@@ -438,52 +507,69 @@ func autoSplitDepth(workers, piCount int) int {
 	return d
 }
 
-// frontier expands the state tree breadth-first to the split depth,
-// applying the same bound-guided ordering and pruning the DFS would.
+// frontier expands the state tree to the split depth with one incremental
+// bound engine, applying the same bound-guided ordering and pruning the
+// worker DFS would.  Subtrees are collected in depth-first preorder (the
+// bound-preferred branch first), so better-bounded tasks still reach the
+// queue earlier; the incumbent cannot tighten during expansion (no leaf is
+// evaluated here), so the surviving task set is exactly the breadth-first
+// one.
 func (sh *sharedSearch) frontier(depth int) ([][]sim.Value, error) {
 	p := sh.p
-	root := make([]sim.Value, len(p.CC.PI))
-	for i := range root {
-		root[i] = sim.X
+	cur := make([]sim.Value, len(p.CC.PI))
+	for i := range cur {
+		cur[i] = sim.X
 	}
-	tasks := [][]sim.Value{root}
-	scratch := make([]sim.Value, len(root))
-	for d := 0; d < depth; d++ {
+	if depth == 0 {
+		return [][]sim.Value{cur}, nil
+	}
+	eng, err := p.newBoundEngine()
+	if err != nil {
+		return nil, err
+	}
+	var tasks [][]sim.Value
+	var expand func(d int)
+	expand = func(d int) {
+		if sh.stop.Load() {
+			return
+		}
+		if d == depth {
+			tasks = append(tasks, append([]sim.Value(nil), cur...))
+			return
+		}
 		idx := p.piOrder[d]
-		next := make([][]sim.Value, 0, 2*len(tasks))
-		for _, task := range tasks {
-			if sh.stop.Load() {
-				return next, nil
-			}
-			sh.stateNodes.Add(1)
-			copy(scratch, task)
-			type branch struct {
-				v     sim.Value
-				bound float64
-			}
-			branches := make([]branch, 0, 2)
-			for _, v := range []sim.Value{sim.False, sim.True} {
-				scratch[idx] = v
-				b, err := p.stateBound(scratch)
-				if err != nil {
-					return nil, err
-				}
-				branches = append(branches, branch{v, b})
-			}
-			if branches[1].bound < branches[0].bound {
-				branches[0], branches[1] = branches[1], branches[0]
-			}
-			for _, br := range branches {
-				if br.bound >= sh.bestLeak()-LeakEps {
-					sh.pruned.Add(1)
-					continue
-				}
-				child := append([]sim.Value(nil), task...)
-				child[idx] = br.v
-				next = append(next, child)
+		sh.stateNodes.Add(1)
+		var branches [2]struct {
+			v     sim.Value
+			bound float64
+		}
+		for k, v := range [2]sim.Value{sim.False, sim.True} {
+			branches[k].v = v
+			if eng != nil {
+				eng.Assign(idx, v)
+				branches[k].bound = eng.Bound()
+				eng.Undo()
 			}
 		}
-		tasks = next
+		if branches[1].bound < branches[0].bound {
+			branches[0], branches[1] = branches[1], branches[0]
+		}
+		for _, br := range branches {
+			if br.bound >= sh.bestObj()-LeakEps {
+				sh.pruned.Add(1)
+				continue
+			}
+			cur[idx] = br.v
+			if eng != nil {
+				eng.Assign(idx, br.v)
+			}
+			expand(d + 1)
+			if eng != nil {
+				eng.Undo()
+			}
+			cur[idx] = sim.X
+		}
 	}
+	expand(0)
 	return tasks, nil
 }

@@ -93,6 +93,18 @@ func (p *Problem) objOf(ch *library.Choice) float64 {
 	return ch.Leak
 }
 
+// objValue returns the solution's value under the problem objective.  The
+// search incumbent compares and prunes in these units — under ObjIsubOnly
+// the bounds (minChoice/minAny) are Isub sums, so comparing them against a
+// total-leakage incumbent would both weaken pruning and make the [12]
+// baseline minimize the wrong quantity.
+func (p *Problem) objValue(sol *Solution) float64 {
+	if p.Obj == ObjIsubOnly {
+		return sol.Isub
+	}
+	return sol.Leak
+}
+
 func (p *Problem) precompute() {
 	cc := p.CC
 	p.minChoice = make([][]float64, len(cc.Gates))
@@ -390,10 +402,48 @@ func (p *Problem) assignGatesOn(state *sta.State, gateStates []uint, budget floa
 	return out, nil
 }
 
+// newBoundEngine builds the incremental 3-valued bound engine over the
+// problem's objective tables: per-gate contribution minChoice[g][s] when the
+// gate state is known, minAny[g] otherwise — the same admissible bound
+// stateBound computes by full re-simulation, maintained event-driven so one
+// Assign costs O(affected fanout cone) instead of O(circuit).  Returns nil
+// when the NoStateBounds ablation disables state-tree bounds entirely.
+func (p *Problem) newBoundEngine() (*sim.Inc3, error) {
+	if p.Ablate.NoStateBounds {
+		return nil, nil
+	}
+	return sim.NewInc3(p.CC, p.minChoice, p.minAny)
+}
+
+// fastBoundEngine is the state-only baseline's variant of the bound engine:
+// every gate is pinned to its fastest version, so the contribution tables
+// are the fast version's per-state leakage (and its minimum over states
+// while the gate state is unknown).
+func (p *Problem) fastBoundEngine() (*sim.Inc3, error) {
+	known := make([][]float64, len(p.CC.Gates))
+	unknown := make([]float64, len(p.CC.Gates))
+	for gi := range p.CC.Gates {
+		leaks := p.Timer.Cells[gi].Fast().Leak
+		known[gi] = leaks
+		m := leaks[0]
+		for _, l := range leaks[1:] {
+			if l < m {
+				m = l
+			}
+		}
+		unknown[gi] = m
+	}
+	return sim.NewInc3(p.CC, known, unknown)
+}
+
 // stateBound computes the admissible leakage lower bound for a partial
 // input assignment using 3-valued simulation: gates with a known input
 // state contribute their best choice there; unknown gates contribute their
 // global best (paper section 5, bounds with partial state information).
+//
+// This is the slow-path reference of the incremental engine built by
+// newBoundEngine: the searches evaluate branch bounds with sim.Inc3, and
+// tests cross-check the two bit for bit.
 func (p *Problem) stateBound(pi []sim.Value) (float64, error) {
 	if p.Ablate.NoStateBounds {
 		return 0, nil

@@ -43,6 +43,25 @@ func (p *Problem) Refine(sol *Solution, penalty float64, maxPasses int) (*Soluti
 		return ga > gb
 	})
 
+	// Candidate ranks per gate: cell.Choices[s] is pre-sorted by *total*
+	// leakage, but the early exit below assumes ascending objective order —
+	// under ObjIsubOnly the two orders differ, so re-rank by objOf once
+	// (the same re-ranking assignGatesOn applies during the descent).
+	ranked := make([][]int, len(p.CC.Gates))
+	for gi := range p.CC.Gates {
+		choices := p.Timer.Cells[gi].Choices[gateStates[gi]]
+		idx := make([]int, len(choices))
+		for i := range idx {
+			idx[i] = i
+		}
+		if p.Obj == ObjIsubOnly {
+			sort.SliceStable(idx, func(a, b int) bool {
+				return choices[idx[a]].Isub < choices[idx[b]].Isub
+			})
+		}
+		ranked[gi] = idx
+	}
+
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for _, gi := range order {
@@ -50,10 +69,10 @@ func (p *Problem) Refine(sol *Solution, penalty float64, maxPasses int) (*Soluti
 			choices := cell.Choices[gateStates[gi]]
 			cur := state.Choice(gi)
 			curObj := p.objOf(cur)
-			for ci := range choices {
+			for _, ci := range ranked[gi] {
 				ch := &choices[ci]
 				if p.objOf(ch) >= curObj {
-					break // sorted ascending: nothing better remains
+					break // ranked ascending by objective: nothing better remains
 				}
 				stats.GateTrials++
 				state.SetChoice(gi, ch)

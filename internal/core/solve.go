@@ -88,8 +88,11 @@ type Options struct {
 	// automatically from the worker count.  Ignored when Workers == 1.
 	SplitDepth int
 	// MaxLeaves, when > 0, stops the search after that many complete
-	// states have been evaluated — a machine-independent work budget that
-	// makes runs comparable across worker counts.
+	// states have been evaluated by the tree search — a machine-independent
+	// work budget that makes runs comparable across worker counts.  The
+	// Heuristic 1 seed descent is free: its leaf does not count against the
+	// budget, so MaxLeaves: 1 explores exactly one tree leaf beyond the
+	// seed.
 	MaxLeaves int64
 	// Seed, when non-zero, shuffles the parallel subtree task order (a
 	// cheap load-balancing lever); zero keeps bound-guided order.
@@ -99,6 +102,9 @@ type Options struct {
 	RefinePasses int
 	// Progress, when non-nil, receives periodic snapshots of the running
 	// search from a single goroutine, plus one final snapshot on return.
+	// The final snapshot fires after RefinePasses, so its BestLeak always
+	// equals the returned solution's leakage — for every algorithm,
+	// including a search cancelled before it starts.
 	Progress func(Progress)
 	// ProgressInterval is the snapshot period (default 100ms).
 	ProgressInterval time.Duration
@@ -157,9 +163,13 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 	// mid-search snapshots could leave Solution.Stats disagreeing with the
 	// final counters.
 	sol.Stats.Runtime = time.Since(start)
-	if opt.Progress != nil && opt.Algorithm != AlgHeuristic2 && opt.Algorithm != AlgExact {
-		// Tree searches already reported through their shared counters;
-		// the single-descent algorithms get one final snapshot here.
+	if opt.Progress != nil {
+		// The documented "one final snapshot on return" fires here, after
+		// refinement, for every algorithm — tree searches only report
+		// periodic snapshots themselves, so BestLeak can never disagree
+		// with the returned solution (the seed implementation emitted the
+		// tree-search final snapshot before RefinePasses ran, and skipped
+		// it entirely on an already-cancelled context).
 		opt.Progress(Progress{
 			StateNodes: sol.Stats.StateNodes,
 			GateTrials: sol.Stats.GateTrials,
@@ -239,10 +249,9 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) 
 
 	stopWatcher()
 	if progressDone != nil {
+		// Wait out the ticker goroutine; the final snapshot is emitted by
+		// Solve after refinement.
 		<-progressDone
-		if searchErr == nil {
-			opt.Progress(sh.snapshot(start))
-		}
 	}
 	if searchErr != nil {
 		return nil, searchErr

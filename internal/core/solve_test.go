@@ -160,15 +160,34 @@ func TestSolveMaxLeaves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// The budget counts the Heuristic1 seed leaf plus worker leaves, with
-	// at most one in-flight leaf per worker at the cutoff.
-	if sol.Stats.Leaves > 5+2 {
+	// The budget bounds the tree leaves; the Heuristic1 seed leaf rides
+	// for free on top of it.
+	if sol.Stats.Leaves > 5+1 {
 		t.Errorf("leaf budget 5 overrun: %d leaves", sol.Stats.Leaves)
 	}
 	if !sol.Stats.Interrupted {
 		t.Error("truncated search did not report Interrupted")
 	}
 	checkSolution(t, p, sol, p.Budget(0.05))
+}
+
+// MaxLeaves counts only tree leaves: the Heuristic 1 seed descent is free,
+// so a budget of 1 explores exactly one tree leaf (the seed-era accounting
+// charged the seed a ticket, making MaxLeaves: 1 explore zero tree leaves).
+func TestSolveMaxLeavesSeedIsFree(t *testing.T) {
+	p := midCircuit(t)
+	sol, err := p.Solve(context.Background(), Options{
+		Algorithm: AlgHeuristic2, Penalty: 0.05, Workers: 1, MaxLeaves: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Stats.Leaves != 2 {
+		t.Errorf("MaxLeaves 1: %d leaves evaluated, want 2 (seed + one tree leaf)", sol.Stats.Leaves)
+	}
+	if !sol.Stats.Interrupted {
+		t.Error("truncated search did not report Interrupted")
+	}
 }
 
 // Progress callbacks arrive from one goroutine with monotone counters and a
@@ -200,6 +219,56 @@ func TestSolveProgress(t *testing.T) {
 	last := snaps[len(snaps)-1]
 	if last.Leaves != sol.Stats.Leaves || last.BestLeak != sol.Leak {
 		t.Errorf("final snapshot %+v disagrees with stats %+v / leak %.3f", last, sol.Stats, sol.Leak)
+	}
+}
+
+// The final progress snapshot must reflect the solution *after* refinement
+// passes for tree searches too (the seed implementation emitted it before
+// RefinePasses ran, so BestLeak could disagree with the returned solution).
+func TestSolveProgressFinalAfterRefine(t *testing.T) {
+	p := midCircuit(t)
+	var last Progress
+	sol, err := p.Solve(context.Background(), Options{
+		Algorithm:    AlgHeuristic2,
+		Penalty:      0.05,
+		Workers:      2,
+		RefinePasses: 3,
+		Progress:     func(pr Progress) { last = pr },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.BestLeak != sol.Leak {
+		t.Errorf("final snapshot BestLeak %.6f != returned leak %.6f", last.BestLeak, sol.Leak)
+	}
+	if last.GateTrials != sol.Stats.GateTrials {
+		t.Errorf("final snapshot GateTrials %d != returned %d (refinement trials missing)",
+			last.GateTrials, sol.Stats.GateTrials)
+	}
+}
+
+// A context cancelled before Solve is called must still deliver the
+// documented final snapshot (the seed implementation's early return skipped
+// it entirely).
+func TestSolveProgressPreCancelled(t *testing.T) {
+	p := newProblem(t, tinyCircuit(), library.DefaultOptions(), ObjTotal)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var snaps []Progress
+	sol, err := p.Solve(ctx, Options{
+		Algorithm: AlgHeuristic2,
+		Penalty:   0.05,
+		Workers:   2,
+		Progress:  func(pr Progress) { snaps = append(snaps, pr) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("pre-cancelled Solve delivered no final snapshot")
+	}
+	if last := snaps[len(snaps)-1]; last.BestLeak != sol.Leak {
+		t.Errorf("final snapshot BestLeak %.6f != returned leak %.6f", last.BestLeak, sol.Leak)
 	}
 }
 
