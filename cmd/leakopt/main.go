@@ -19,6 +19,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -58,8 +60,24 @@ func main() {
 		timing    = flag.Bool("timing", false, "print the critical path of the optimized circuit")
 		mcSamples = flag.Int("mc", 0, "run an N-sample process-variation Monte Carlo on the result")
 		mcSigma   = flag.Float64("mc-sigma", 30, "threshold-voltage sigma for -mc, millivolts")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		cpuProfFile = f
+	}
+	memProfPath = *memProf
+	defer stopProfiles()
 
 	var seqCut *seq.Circuit
 	var circ *netlist.Circuit
@@ -214,8 +232,8 @@ func main() {
 		fmt.Printf("%-12s leak=%8.2f µA  (%.1fX)  Isub=%7.2f µA  delay=%6.0f ps  [%v]%s\n",
 			label, sol.Leak/1000, avg/sol.Leak, sol.Isub/1000, sol.Delay, sol.Stats.Runtime.Round(time.Millisecond), note)
 		if *showStats {
-			fmt.Printf("             state nodes %d, gate trials %d, leaves %d, pruned %d\n",
-				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.Pruned)
+			fmt.Printf("             state nodes %d, gate trials %d, leaves %d (cache hits %d), pruned %d\n",
+				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.LeafCacheHits, sol.Stats.Pruned)
 		}
 		if *showVec {
 			fmt.Print("             sleep vector: ")
@@ -330,7 +348,39 @@ func libraryOptions(name string) (library.Options, error) {
 	}
 }
 
+// Profile state lives at package scope so fatal (which exits without
+// running deferred calls) can still flush profiles.
+var (
+	cpuProfFile *os.File
+	memProfPath string
+)
+
+// stopProfiles flushes any active CPU profile and writes the heap profile.
+// Safe to call more than once.
+func stopProfiles() {
+	if cpuProfFile != nil {
+		pprof.StopCPUProfile()
+		cpuProfFile.Close()
+		cpuProfFile = nil
+	}
+	if memProfPath != "" {
+		path := memProfPath
+		memProfPath = ""
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leakopt:", err)
+			return
+		}
+		runtime.GC() // materialize up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "leakopt:", err)
+		}
+		f.Close()
+	}
+}
+
 func fatal(err error) {
+	stopProfiles()
 	fmt.Fprintln(os.Stderr, "leakopt:", err)
 	os.Exit(1)
 }

@@ -15,18 +15,45 @@ import (
 type Table2D struct {
 	X, Y []float64   // strictly increasing axes
 	V    [][]float64 // V[i][j] = value at (X[i], Y[j])
+	// flat, when non-nil, is the row-major backing array of V (stride ny):
+	// tabulate carves the rows of V out of it, so the two views alias the
+	// same storage and At can load samples with one indirection instead of
+	// chasing a row header per pair.  Tables assembled from literals leave
+	// it nil and At falls back to V.
+	flat []float64
+	ny   int
 }
 
 // Lookup evaluates the table at (x, y).
 func (t *Table2D) Lookup(x, y float64) float64 {
-	i := segment(t.X, x)
-	j := segment(t.Y, y)
-	x0, x1 := t.X[i], t.X[i+1]
-	y0, y1 := t.Y[j], t.Y[j+1]
-	fx := (x - x0) / (x1 - x0)
-	fy := (y - y0) / (y1 - y0)
-	v00, v01 := t.V[i][j], t.V[i][j+1]
-	v10, v11 := t.V[i+1][j], t.V[i+1][j+1]
+	i, fx := Coord(t.X, x)
+	j, fy := Coord(t.Y, y)
+	return t.At(i, j, fx, fy)
+}
+
+// Coord locates a value on an axis: the grid-segment index and the
+// interpolation fraction within it.  Splitting Lookup into Coord + At lets
+// callers that evaluate many tables over the *same* axes (an STA engine
+// where every NLDM table shares one characterization grid) pay the segment
+// search and division once per coordinate instead of once per table.
+func Coord(axis []float64, v float64) (int, float64) {
+	i := segment(axis, v)
+	return i, (v - axis[i]) / (axis[i+1] - axis[i])
+}
+
+// At evaluates the table at coordinates previously computed by Coord on
+// the table's own axes.  The interpolation expression is Lookup's,
+// verbatim, so At(Coord(X,x), Coord(Y,y)) is bit-for-bit Lookup(x, y).
+func (t *Table2D) At(i, j int, fx, fy float64) float64 {
+	var v00, v01, v10, v11 float64
+	if t.flat != nil {
+		base := i*t.ny + j
+		v00, v01 = t.flat[base], t.flat[base+1]
+		v10, v11 = t.flat[base+t.ny], t.flat[base+t.ny+1]
+	} else {
+		v00, v01 = t.V[i][j], t.V[i][j+1]
+		v10, v11 = t.V[i+1][j], t.V[i+1][j+1]
+	}
 	return v00*(1-fx)*(1-fy) + v01*(1-fx)*fy + v10*fx*(1-fy) + v11*fx*fy
 }
 
@@ -194,14 +221,16 @@ func makeArc(r, cout, factor float64) Arc {
 }
 
 func tabulate(f func(slew, load float64) float64) *Table2D {
+	// One flat backing array: rows of a table land on the same cache lines.
+	flat := make([]float64, len(slewGrid)*len(loadGrid))
 	v := make([][]float64, len(slewGrid))
 	for i, s := range slewGrid {
-		v[i] = make([]float64, len(loadGrid))
+		v[i] = flat[i*len(loadGrid) : (i+1)*len(loadGrid)]
 		for j, l := range loadGrid {
 			v[i][j] = f(s, l)
 		}
 	}
-	return &Table2D{X: slewGrid, Y: loadGrid, V: v}
+	return &Table2D{X: slewGrid, Y: loadGrid, V: v, flat: flat, ny: len(loadGrid)}
 }
 
 // NormalizedDelay returns the delay-degradation factor of the assignment

@@ -45,7 +45,7 @@ func BenchmarkStateBound(b *testing.B) {
 		// A fixed half-assigned prefix: bounds are evaluated mid-descent,
 		// not at the root.
 		rng := rand.New(rand.NewSource(1))
-		prefix := rng.Perm(n)[: n/2]
+		prefix := rng.Perm(n)[:n/2]
 
 		b.Run(circuit+"/full-resim", func(b *testing.B) {
 			pi := make([]sim.Value, n)

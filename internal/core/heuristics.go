@@ -140,7 +140,7 @@ func (p *Problem) stateOnly() (*Solution, error) {
 	}
 	choices := make([]*library.Choice, len(p.CC.Gates))
 	for gi, s := range states {
-		choices[gi] = p.Timer.Cells[gi].FastChoice(s)
+		choices[gi] = p.fastTab[gi][s]
 	}
 	leak, isub := leakOf(choices)
 	delay, err := p.Timer.Analyze(choices)

@@ -1,0 +1,144 @@
+package core
+
+import "sync"
+
+// The two-tree search can reach the same *gate-state* vector from different
+// primary-input vectors (inputs whose cone is masked by controlling values,
+// logically redundant inputs) and always re-reaches the Heuristic 1 seed
+// state during the DFS.  The gate-tree descent depends on the circuit only
+// through the gate states, so identical vectors give identical descents —
+// the leafCache memoizes them.
+//
+// Correctness argument, per entry kind:
+//
+//   - leafGreedy entries store the greedy descent's full result.  The
+//     descent is incumbent-independent (it only consults the delay budget),
+//     so replaying the stored solution through the incumbent offer is
+//     exactly equivalent to re-running it.
+//
+//   - leafExact entries store the best solution the exact gate-tree
+//     branch-and-bound *installed* at that leaf, or nil if it improved
+//     nothing.  The exact descent prunes against the live incumbent, but
+//     the incumbent is monotone (offers only tighten it), so a later visit
+//     faces an equal-or-tighter bound: if the stored run installed nothing,
+//     a re-run now would too (it explores a subset of the stored run's
+//     nodes); if it installed a solution, that solution is the best at this
+//     leaf within the search's LeakEps pruning tolerance, and offering it
+//     again is equivalent to re-searching.  Entries are only written by
+//     descents that ran to completion — a descent cut short by the stop
+//     flag caches nothing.
+//
+// Entries are kind-tagged because a greedy result must never answer an
+// exact lookup (the exact descent can beat the greedy one at the same
+// leaf).  The cache is bounded: shards stop accepting entries at their
+// share of defaultLeafCacheEntries, so pathological searches degrade to
+// plain re-evaluation instead of unbounded growth.
+type leafKind uint8
+
+const (
+	leafGreedy leafKind = iota
+	leafExact
+)
+
+const (
+	leafCacheShards = 64
+	// defaultLeafCacheEntries bounds the total entry count; at one entry
+	// per unique gate-state vector this caps memory at a few MB even on
+	// the largest benchmark circuits.
+	defaultLeafCacheEntries = 1 << 13
+)
+
+type leafEntry struct {
+	kind leafKind
+	// states is the entry's own copy of the gate-state vector (callers
+	// probe with reused arena buffers).
+	states []uint
+	// sol is the memoized result: the greedy descent's solution, or the
+	// exact descent's best installed solution (nil when it installed
+	// none).  Solutions are immutable once published.
+	sol *Solution
+}
+
+type leafShard struct {
+	mu sync.RWMutex
+	m  map[uint64][]*leafEntry
+	n  int
+}
+
+// leafCache is a sharded gate-state-vector → leaf-result map.  Sharding by
+// hash keeps lock traffic negligible: workers take a read lock on one of
+// 64 shards per probe, and write locks only on first evaluation of a
+// vector.
+type leafCache struct {
+	shards      [leafCacheShards]leafShard
+	perShardCap int
+}
+
+func newLeafCache() *leafCache {
+	c := &leafCache{perShardCap: defaultLeafCacheEntries / leafCacheShards}
+	for i := range c.shards {
+		c.shards[i].m = make(map[uint64][]*leafEntry)
+	}
+	return c
+}
+
+// hashGateStates is FNV-1a over the gate-state words.
+func hashGateStates(states []uint) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range states {
+		h ^= uint64(s)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func equalStates(a, b []uint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get probes for a kind-matching entry; the bool reports a hit (an exact
+// entry's sol may legitimately be nil).  Allocation-free.
+func (c *leafCache) get(states []uint, kind leafKind) (*leafEntry, bool) {
+	h := hashGateStates(states)
+	sh := &c.shards[h%leafCacheShards]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for _, e := range sh.m[h] {
+		if e.kind == kind && equalStates(e.states, states) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// put memoizes a completed leaf evaluation, copying the key.  Duplicate
+// inserts (two workers evaluating the same vector concurrently) keep the
+// first entry; full shards drop the insert.
+func (c *leafCache) put(states []uint, kind leafKind, sol *Solution) {
+	h := hashGateStates(states)
+	sh := &c.shards[h%leafCacheShards]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.n >= c.perShardCap {
+		return
+	}
+	for _, e := range sh.m[h] {
+		if e.kind == kind && equalStates(e.states, states) {
+			return
+		}
+	}
+	sh.m[h] = append(sh.m[h], &leafEntry{
+		kind:   kind,
+		states: append([]uint(nil), states...),
+		sol:    sol,
+	})
+	sh.n++
+}

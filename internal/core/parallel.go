@@ -3,7 +3,6 @@ package core
 import (
 	"math"
 	"math/rand"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,10 +37,15 @@ type sharedSearch struct {
 
 	splitDepth int
 
-	stateNodes atomic.Int64
-	gateTrials atomic.Int64
-	leaves     atomic.Int64
-	pruned     atomic.Int64
+	stateNodes    atomic.Int64
+	gateTrials    atomic.Int64
+	leaves        atomic.Int64
+	pruned        atomic.Int64
+	leafCacheHits atomic.Int64
+
+	// cache memoizes leaf evaluations by gate-state vector (nil when the
+	// NoLeafCache ablation disables it).
+	cache *leafCache
 
 	// baseline is the all-fast timing state workers clone instead of
 	// re-running a full analysis per worker.
@@ -68,6 +72,9 @@ func newSharedSearch(p *Problem, opt Options, budget float64, seed *Solution) *s
 	sh.gateTrials.Store(seed.Stats.GateTrials)
 	sh.leaves.Store(seed.Stats.Leaves)
 	sh.pruned.Store(seed.Stats.Pruned)
+	if !p.Ablate.NoLeafCache {
+		sh.cache = newLeafCache()
+	}
 	return sh
 }
 
@@ -115,6 +122,49 @@ func (sh *sharedSearch) offer(sol *Solution) {
 	sh.mu.Unlock()
 }
 
+// offerLeaf is offer for the allocation-free leaf paths: the caller hands
+// in the arena's reused state and choices buffers plus the computed values,
+// and a Solution (with its own copies of the buffers) is only materialized
+// if the incumbent actually moves — losing leaves allocate nothing.  The
+// CAS loop and the equal-objective leak tie-break are identical to offer's.
+// Returns the installed solution, or nil when the incumbent was not
+// replaced.
+func (sh *sharedSearch) offerLeaf(state []bool, choices []*library.Choice, leak, isub, delay float64) *Solution {
+	obj := leak
+	if sh.p.Obj == ObjIsubOnly {
+		obj = isub
+	}
+	for {
+		cur := sh.bestBits.Load()
+		curObj := math.Float64frombits(cur)
+		if obj > curObj {
+			return nil
+		}
+		if obj == curObj {
+			// Possible tie-break improvement: resolved under the lock.
+			break
+		}
+		if sh.bestBits.CompareAndSwap(cur, math.Float64bits(obj)) {
+			break
+		}
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if best := sh.best; best == nil || obj < sh.p.objValue(best) ||
+		(obj == sh.p.objValue(best) && leak < best.Leak) {
+		sol := &Solution{
+			State:   append([]bool(nil), state...),
+			Choices: append([]*library.Choice(nil), choices...),
+			Leak:    leak,
+			Isub:    isub,
+			Delay:   delay,
+		}
+		sh.best = sol
+		return sol
+	}
+	return nil
+}
+
 func (sh *sharedSearch) markInterrupted() {
 	sh.interrupted.Store(true)
 	sh.stop.Store(true)
@@ -135,12 +185,13 @@ func (sh *sharedSearch) takeLeafTicket() bool {
 // snapshot reads the shared counters for a Progress callback.
 func (sh *sharedSearch) snapshot(start time.Time) Progress {
 	return Progress{
-		StateNodes: sh.stateNodes.Load(),
-		GateTrials: sh.gateTrials.Load(),
-		Leaves:     sh.leaves.Load(),
-		Pruned:     sh.pruned.Load(),
-		BestLeak:   sh.incumbentLeak(),
-		Elapsed:    time.Since(start),
+		StateNodes:    sh.stateNodes.Load(),
+		GateTrials:    sh.gateTrials.Load(),
+		Leaves:        sh.leaves.Load(),
+		Pruned:        sh.pruned.Load(),
+		LeafCacheHits: sh.leafCacheHits.Load(),
+		BestLeak:      sh.incumbentLeak(),
+		Elapsed:       time.Since(start),
 	}
 }
 
@@ -150,12 +201,13 @@ func (sh *sharedSearch) finish(start time.Time) *Solution {
 	best := sh.best
 	sh.mu.Unlock()
 	best.Stats = SearchStats{
-		StateNodes:  sh.stateNodes.Load(),
-		GateTrials:  sh.gateTrials.Load(),
-		Leaves:      sh.leaves.Load(),
-		Pruned:      sh.pruned.Load(),
-		Runtime:     time.Since(start),
-		Interrupted: sh.interrupted.Load(),
+		StateNodes:    sh.stateNodes.Load(),
+		GateTrials:    sh.gateTrials.Load(),
+		Leaves:        sh.leaves.Load(),
+		Pruned:        sh.pruned.Load(),
+		LeafCacheHits: sh.leafCacheHits.Load(),
+		Runtime:       time.Since(start),
+		Interrupted:   sh.interrupted.Load(),
 	}
 	return best
 }
@@ -181,6 +233,10 @@ type worker struct {
 	flushed SearchStats
 	base    *sta.State // all-fast reference timing
 	scratch *sta.State // per-leaf working state
+	arena   *leafArena // reusable leaf-evaluation buffers
+	// exactBest tracks the best solution the current exact leaf descent
+	// installed, for the leaf cache.
+	exactBest *Solution
 }
 
 func (sh *sharedSearch) newWorker() (*worker, error) {
@@ -198,6 +254,7 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 		inc:     inc,
 		base:    base,
 		scratch: base.Clone(),
+		arena:   sh.p.newLeafArena(base),
 	}
 	for i := range w.pi {
 		w.pi[i] = sim.X
@@ -235,6 +292,7 @@ func (w *worker) flush() {
 	w.sh.gateTrials.Add(w.stats.GateTrials - w.flushed.GateTrials)
 	w.sh.leaves.Add(w.stats.Leaves - w.flushed.Leaves)
 	w.sh.pruned.Add(w.stats.Pruned - w.flushed.Pruned)
+	w.sh.leafCacheHits.Add(w.stats.LeafCacheHits - w.flushed.LeafCacheHits)
 	w.flushed = w.stats
 }
 
@@ -301,12 +359,15 @@ func (w *worker) dfs(depth int) error {
 }
 
 // leaf evaluates one complete input state, either with the greedy gate-tree
-// descent (Heuristic 2) or the exact gate-tree branch-and-bound.
+// descent (Heuristic 2) or the exact gate-tree branch-and-bound.  The state
+// vector lives in the worker's arena, so the leaf paths allocate nothing
+// after warm-up (incumbent installs and first-visit cache inserts are the
+// only allocation sites, and both are amortized over the search).
 func (w *worker) leaf() error {
 	if !w.sh.takeLeafTicket() {
 		return nil
 	}
-	state := make([]bool, len(w.pi))
+	state := w.arena.state
 	for i, v := range w.pi {
 		state[i] = v == sim.True
 	}
@@ -320,104 +381,132 @@ func (w *worker) leaf() error {
 	return err
 }
 
-// greedyLeaf runs the greedy single descent of the gate tree on a cloned
-// baseline timing state and offers the result to the shared incumbent.
+// greedyLeaf runs the greedy single descent of the gate tree on the reused
+// scratch timing state and offers the result to the shared incumbent.  The
+// descent depends on the circuit only through the gate-state vector, so a
+// leaf-cache hit replays the memoized solution instead of re-descending.
 func (w *worker) greedyLeaf(state []bool) error {
+	sh := w.sh
+	p := sh.p
+	a := w.arena
+	if err := p.gateStatesInto(a, state); err != nil {
+		return err
+	}
+	if sh.cache != nil {
+		if e, ok := sh.cache.get(a.gateSt, leafGreedy); ok {
+			w.stats.Leaves++
+			w.stats.LeafCacheHits++
+			sh.offer(e.sol)
+			return nil
+		}
+	}
 	w.scratch.CopyFrom(w.base)
-	sol, err := w.sh.p.evalStateOn(w.scratch, state, w.sh.budget, &w.stats)
+	leak, isub, delay, err := p.evalStateArena(w.scratch, a, sh.budget, &w.stats)
 	if err != nil {
 		return err
 	}
-	w.sh.offer(sol)
+	sol := sh.offerLeaf(state, a.choices, leak, isub, delay)
+	if sh.cache != nil {
+		if sol == nil {
+			sol = &Solution{
+				State:   append([]bool(nil), state...),
+				Choices: append([]*library.Choice(nil), a.choices...),
+				Leak:    leak,
+				Isub:    isub,
+				Delay:   delay,
+			}
+		}
+		sh.cache.put(a.gateSt, leafGreedy, sol)
+	}
 	return nil
 }
 
 // exactLeaf runs the exact gate-tree branch-and-bound for one state: gates
 // in gain order, remaining-gates leakage suffix bounds, and the incremental
-// delay lower bound (unassigned gates at their fastest version).
+// delay lower bound (unassigned gates at their fastest version).  Completed
+// descents are memoized by gate-state vector; interrupted ones are not.
 func (w *worker) exactLeaf(state []bool) error {
 	sh := w.sh
 	p := sh.p
-	gateStates, err := p.gateStates(state)
-	if err != nil {
+	a := w.arena
+	if err := p.gateStatesInto(a, state); err != nil {
 		return err
 	}
 	w.stats.Leaves++
-
-	order := make([]int, len(p.CC.Gates))
-	for i := range order {
-		order[i] = i
+	if sh.cache != nil {
+		if e, ok := sh.cache.get(a.gateSt, leafExact); ok {
+			w.stats.LeafCacheHits++
+			if e.sol != nil {
+				sh.offer(e.sol)
+			}
+			return nil
+		}
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ga := p.objOf(p.Timer.Cells[order[a]].FastChoice(gateStates[order[a]])) - p.minChoice[order[a]][gateStates[order[a]]]
-		gb := p.objOf(p.Timer.Cells[order[b]].FastChoice(gateStates[order[b]])) - p.minChoice[order[b]][gateStates[order[b]]]
-		return ga > gb
-	})
-	suffix := make([]float64, len(order)+1)
-	for i := len(order) - 1; i >= 0; i-- {
-		suffix[i] = suffix[i+1] + p.minChoice[order[i]][gateStates[order[i]]]
+
+	p.rankGates(a)
+	for i := len(a.order) - 1; i >= 0; i-- {
+		gi := a.order[i]
+		a.suffix[i] = a.suffix[i+1] + p.minChoice[gi][a.gateSt[gi]]
 	}
 
 	w.scratch.CopyFrom(w.base)
+	w.exactBest = nil
+	if err := w.gateDFS(state, 0, 0); err != nil {
+		return err
+	}
+	if sh.cache != nil && !sh.stop.Load() {
+		sh.cache.put(a.gateSt, leafExact, w.exactBest)
+	}
+	return nil
+}
+
+// gateDFS is the recursive step of the exact gate-tree branch-and-bound,
+// operating entirely on the worker's arena and scratch timing state.
+func (w *worker) gateDFS(state []bool, pos int, leakSoFar float64) error {
+	sh := w.sh
+	p := sh.p
+	a := w.arena
 	st := w.scratch
-	chosen := make([]*library.Choice, len(order))
-	var gateDFS func(pos int, leakSoFar float64) error
-	gateDFS = func(pos int, leakSoFar float64) error {
-		if sh.stop.Load() {
-			return nil
-		}
-		if leakSoFar+suffix[pos] >= sh.bestObj()-LeakEps {
-			return nil
-		}
-		if pos == len(order) {
-			choices := make([]*library.Choice, len(p.CC.Gates))
-			for k, gi := range order {
-				choices[gi] = chosen[k]
-			}
-			leak, isub := leakOf(choices)
-			delay := st.Delay()
-			if delay > sh.budget+DelayEps {
-				return nil
-			}
-			sh.offer(&Solution{
-				State:   append([]bool(nil), state...),
-				Choices: choices,
-				Leak:    leak,
-				Isub:    isub,
-				Delay:   delay,
-			})
-			return nil
-		}
-		gi := order[pos]
-		cell := p.Timer.Cells[gi]
-		s := gateStates[gi]
-		choices := cell.Choices[s]
-		idx := make([]int, len(choices))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			return p.objOf(&choices[idx[a]]) < p.objOf(&choices[idx[b]])
-		})
-		prev := st.Choice(gi)
-		for _, ci := range idx {
-			ch := &choices[ci]
-			w.stats.GateTrials++
-			st.SetChoice(gi, ch)
-			// Delay with the remaining gates fast is a lower bound on
-			// any completion: prune infeasible subtrees.
-			if ch.Version.MaxFactor > 1 && st.Delay() > sh.budget+DelayEps {
-				continue
-			}
-			chosen[pos] = ch
-			if err := gateDFS(pos+1, leakSoFar+p.objOf(ch)); err != nil {
-				return err
-			}
-		}
-		st.SetChoice(gi, prev)
+	if sh.stop.Load() {
 		return nil
 	}
-	return gateDFS(0, 0)
+	if leakSoFar+a.suffix[pos] >= sh.bestObj()-LeakEps {
+		return nil
+	}
+	if pos == len(a.order) {
+		for k, gi := range a.order {
+			a.choices[gi] = a.chosen[k]
+		}
+		leak, isub := leakOf(a.choices)
+		delay := st.Delay()
+		if delay > sh.budget+DelayEps {
+			return nil
+		}
+		if sol := sh.offerLeaf(state, a.choices, leak, isub, delay); sol != nil {
+			w.exactBest = sol
+		}
+		return nil
+	}
+	gi := int(a.order[pos])
+	s := a.gateSt[gi]
+	choices := p.Timer.Cells[gi].Choices[s]
+	prev := st.Choice(gi)
+	for _, ci := range p.rankTab[gi][s] {
+		ch := &choices[ci]
+		w.stats.GateTrials++
+		st.SetChoice(gi, ch)
+		// Delay with the remaining gates fast is a lower bound on
+		// any completion: prune infeasible subtrees.
+		if ch.Version.MaxFactor > 1 && st.Delay() > sh.budget+DelayEps {
+			continue
+		}
+		a.chosen[pos] = ch
+		if err := w.gateDFS(state, pos+1, leakSoFar+p.objOf(ch)); err != nil {
+			return err
+		}
+	}
+	st.SetChoice(gi, prev)
+	return nil
 }
 
 // runParallel splits the state tree at splitDepth into independent subtree

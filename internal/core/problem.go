@@ -45,6 +45,10 @@ type Ablation struct {
 	// edges: every choice must be tried instead of stopping at the first
 	// feasible one.
 	NoSortedVersions bool
+	// NoLeafCache disables the gate-state-vector leaf memoization: every
+	// reached leaf re-runs its gate-tree descent even when an identical
+	// vector was already evaluated.
+	NoLeafCache bool
 }
 
 // Problem binds a mapped circuit to a library and timing environment.
@@ -64,6 +68,19 @@ type Problem struct {
 	// Both are admissible state-tree bounds ingredients.
 	minChoice [][]float64
 	minAny    []float64
+	// rankTab[g][s] is the stable ascending-objective ordering of gate
+	// g's choices in state s (indexes into Cells[g].Choices[s]).  Every
+	// gate-tree descent — greedy, exact and refinement — ranks candidates
+	// this way, so the argsort is paid once per problem instead of once
+	// per visited gate-tree node.
+	rankTab [][][]int32
+	// gainTab[g][s] is the potential objective saving of gate g in state
+	// s: the fastest choice's objective minus minChoice[g][s].  It is the
+	// gate-ordering key of the greedy and exact descents.
+	gainTab [][]float64
+	// fastTab[g][s] is the min-delay choice of gate g in state s,
+	// replacing the per-visit linear scan of Cell.FastChoice.
+	fastTab [][]*library.Choice
 }
 
 // NewProblem compiles, times and pre-analyzes a circuit.
@@ -125,6 +142,30 @@ func (p *Problem) precompute() {
 		p.minChoice[gi] = mins
 		p.minAny[gi] = any
 	}
+	p.rankTab = make([][][]int32, len(cc.Gates))
+	p.gainTab = make([][]float64, len(cc.Gates))
+	p.fastTab = make([][]*library.Choice, len(cc.Gates))
+	for gi := range cc.Gates {
+		cell := p.Timer.Cells[gi]
+		ns := cell.Template.NumStates()
+		p.rankTab[gi] = make([][]int32, ns)
+		p.gainTab[gi] = make([]float64, ns)
+		p.fastTab[gi] = make([]*library.Choice, ns)
+		for s := 0; s < ns; s++ {
+			choices := cell.Choices[s]
+			idx := make([]int32, len(choices))
+			for i := range idx {
+				idx[i] = int32(i)
+			}
+			sort.SliceStable(idx, func(a, b int) bool {
+				return p.objOf(&choices[idx[a]]) < p.objOf(&choices[idx[b]])
+			})
+			p.rankTab[gi][s] = idx
+			fast := cell.FastChoice(uint(s))
+			p.fastTab[gi][s] = fast
+			p.gainTab[gi][s] = p.objOf(fast) - p.minChoice[gi][s]
+		}
+	}
 	// Order primary inputs by transitive fan-out size (influence).
 	reach := make([]int, len(cc.PI))
 	mark := make([]int, len(cc.Gates))
@@ -171,7 +212,11 @@ type SearchStats struct {
 	GateTrials int64 // gate-tree version trials (incl. rejected)
 	Leaves     int64 // complete states evaluated with a gate-tree descent
 	Pruned     int64 // state-tree branches cut by the leakage bound
-	Runtime    time.Duration
+	// LeafCacheHits counts leaves answered by the gate-state-vector
+	// memoization instead of a fresh gate-tree descent (a subset of
+	// Leaves; GateTrials excludes the descents such hits skipped).
+	LeafCacheHits int64
+	Runtime       time.Duration
 	// Interrupted reports that the search was cut short — by context
 	// cancellation, an expired time limit or an exhausted leaf budget —
 	// so the solution is the best found rather than the search's fixpoint.
@@ -250,156 +295,29 @@ func (p *Problem) AllSlowLeak(state []bool) (float64, error) {
 }
 
 // evalState runs the greedy gate-tree descent for a complete input state
-// and packages the result, paying a fresh full timing analysis.
+// and packages the result.  One-shot callers (Heuristic 1, the tree-search
+// seed) pay a fresh timing analysis and arena here; the search workers use
+// the same arena machinery with per-worker reused buffers instead.
 func (p *Problem) evalState(state []bool, budget float64, stats *SearchStats) (*Solution, error) {
 	st, err := p.Timer.NewState(p.Timer.FastChoices())
 	if err != nil {
 		return nil, err
 	}
-	return p.evalStateOn(st, state, budget, stats)
-}
-
-// evalStateOn is evalState over a caller-provided timing state already
-// initialized to the all-fast assignment — search workers reset a cloned
-// baseline per leaf instead of re-analyzing from scratch.
-func (p *Problem) evalStateOn(st *sta.State, state []bool, budget float64, stats *SearchStats) (*Solution, error) {
-	states, err := p.gateStates(state)
+	a := p.newLeafArena(st)
+	if err := p.gateStatesInto(a, state); err != nil {
+		return nil, err
+	}
+	leak, isub, delay, err := p.evalStateArena(st, a, budget, stats)
 	if err != nil {
 		return nil, err
 	}
-	choices, err := p.assignGatesOn(st, states, budget, stats)
-	if err != nil {
-		return nil, err
-	}
-	leak, isub := leakOf(choices)
-	delay, err := p.Timer.Analyze(choices)
-	if err != nil {
-		return nil, err
-	}
-	stats.Leaves++
 	return &Solution{
 		State:   append([]bool(nil), state...),
-		Choices: choices,
+		Choices: append([]*library.Choice(nil), a.choices...),
 		Leak:    leak,
 		Isub:    isub,
 		Delay:   delay,
 	}, nil
-}
-
-// assignGatesOn performs the paper's greedy single descent of the gate
-// tree: gates visited in order of decreasing potential saving, each taking
-// its lowest-objective choice that keeps the circuit delay within budget
-// (with all unassigned gates at their fastest version), verified by
-// incremental STA.  The provided timing state must hold the all-fast
-// assignment; it is consumed by the descent.
-func (p *Problem) assignGatesOn(state *sta.State, gateStates []uint, budget float64, stats *SearchStats) ([]*library.Choice, error) {
-	cc := p.CC
-	type gainGate struct {
-		gi   int
-		gain float64
-	}
-	order := make([]gainGate, len(cc.Gates))
-	for gi := range cc.Gates {
-		cell := p.Timer.Cells[gi]
-		s := gateStates[gi]
-		fast := p.objOf(cell.FastChoice(s))
-		order[gi] = gainGate{gi, fast - p.minChoice[gi][s]}
-	}
-	sort.SliceStable(order, func(a, b int) bool { return order[a].gain > order[b].gain })
-
-	// Shadow assignment for the full-STA ablation.
-	var shadow []*library.Choice
-	if p.Ablate.FullSTA {
-		shadow = p.Timer.FastChoices()
-	}
-	feasible := func(gi int, ch *library.Choice) (bool, error) {
-		if ch.Version.MaxFactor <= 1 {
-			// No delay degradation: always feasible.
-			state.SetChoice(gi, ch)
-			if shadow != nil {
-				shadow[gi] = ch
-			}
-			return true, nil
-		}
-		if p.Ablate.FullSTA {
-			prev := shadow[gi]
-			shadow[gi] = ch
-			d, err := p.Timer.Analyze(shadow)
-			if err != nil {
-				return false, err
-			}
-			if d > budget+DelayEps {
-				shadow[gi] = prev
-				return false, nil
-			}
-			state.SetChoice(gi, ch)
-			return true, nil
-		}
-		current := state.Choice(gi)
-		state.SetChoice(gi, ch)
-		if state.Delay() <= budget+DelayEps {
-			return true, nil
-		}
-		state.SetChoice(gi, current) // revert
-		return false, nil
-	}
-
-	for _, gg := range order {
-		gi := gg.gi
-		cell := p.Timer.Cells[gi]
-		s := gateStates[gi]
-		choices := cell.Choices[s]
-		// Candidate order: ascending objective (pre-sorted by total
-		// leakage; re-rank cheaply for the Isub objective).
-		idx := make([]int, len(choices))
-		for i := range idx {
-			idx[i] = i
-		}
-		if p.Obj == ObjIsubOnly {
-			sort.SliceStable(idx, func(a, b int) bool {
-				return choices[idx[a]].Isub < choices[idx[b]].Isub
-			})
-		}
-		if p.Ablate.NoSortedVersions {
-			// Without pre-sorted edges every candidate must be tried;
-			// keep the best feasible one.
-			var best *library.Choice
-			for _, ci := range idx {
-				ch := &choices[ci]
-				stats.GateTrials++
-				ok, err := feasible(gi, ch)
-				if err != nil {
-					return nil, err
-				}
-				if ok && (best == nil || p.objOf(ch) < p.objOf(best)) {
-					best = ch
-				}
-			}
-			if best != nil {
-				state.SetChoice(gi, best)
-				if shadow != nil {
-					shadow[gi] = best
-				}
-			}
-			continue
-		}
-		for _, ci := range idx {
-			ch := &choices[ci]
-			stats.GateTrials++
-			ok, err := feasible(gi, ch)
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				break
-			}
-		}
-	}
-	out := make([]*library.Choice, len(cc.Gates))
-	for gi := range out {
-		out[gi] = state.Choice(gi)
-	}
-	return out, nil
 }
 
 // newBoundEngine builds the incremental 3-valued bound engine over the

@@ -43,25 +43,9 @@ func (p *Problem) Refine(sol *Solution, penalty float64, maxPasses int) (*Soluti
 		return ga > gb
 	})
 
-	// Candidate ranks per gate: cell.Choices[s] is pre-sorted by *total*
-	// leakage, but the early exit below assumes ascending objective order —
-	// under ObjIsubOnly the two orders differ, so re-rank by objOf once
-	// (the same re-ranking assignGatesOn applies during the descent).
-	ranked := make([][]int, len(p.CC.Gates))
-	for gi := range p.CC.Gates {
-		choices := p.Timer.Cells[gi].Choices[gateStates[gi]]
-		idx := make([]int, len(choices))
-		for i := range idx {
-			idx[i] = i
-		}
-		if p.Obj == ObjIsubOnly {
-			sort.SliceStable(idx, func(a, b int) bool {
-				return choices[idx[a]].Isub < choices[idx[b]].Isub
-			})
-		}
-		ranked[gi] = idx
-	}
-
+	// Candidate ranks per gate come from the problem's precomputed
+	// rankTab (ascending objective, the order the early exit below
+	// assumes) — the same table every gate-tree descent uses.
 	for pass := 0; pass < maxPasses; pass++ {
 		improved := false
 		for _, gi := range order {
@@ -69,7 +53,7 @@ func (p *Problem) Refine(sol *Solution, penalty float64, maxPasses int) (*Soluti
 			choices := cell.Choices[gateStates[gi]]
 			cur := state.Choice(gi)
 			curObj := p.objOf(cur)
-			for _, ci := range ranked[gi] {
+			for _, ci := range p.rankTab[gi][gateStates[gi]] {
 				ch := &choices[ci]
 				if p.objOf(ch) >= curObj {
 					break // ranked ascending by objective: nothing better remains

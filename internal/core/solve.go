@@ -65,8 +65,11 @@ type Progress struct {
 	GateTrials int64
 	Leaves     int64
 	Pruned     int64
-	BestLeak   float64
-	Elapsed    time.Duration
+	// LeafCacheHits counts leaves answered from the gate-state-vector
+	// memoization instead of a fresh gate-tree descent.
+	LeafCacheHits int64
+	BestLeak      float64
+	Elapsed       time.Duration
 }
 
 // Options configures a Solve call.  The zero value runs Heuristic 1 at a 0%
@@ -171,12 +174,13 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 		// tree-search final snapshot before RefinePasses ran, and skipped
 		// it entirely on an already-cancelled context).
 		opt.Progress(Progress{
-			StateNodes: sol.Stats.StateNodes,
-			GateTrials: sol.Stats.GateTrials,
-			Leaves:     sol.Stats.Leaves,
-			Pruned:     sol.Stats.Pruned,
-			BestLeak:   sol.Leak,
-			Elapsed:    sol.Stats.Runtime,
+			StateNodes:    sol.Stats.StateNodes,
+			GateTrials:    sol.Stats.GateTrials,
+			Leaves:        sol.Stats.Leaves,
+			Pruned:        sol.Stats.Pruned,
+			LeafCacheHits: sol.Stats.LeafCacheHits,
+			BestLeak:      sol.Leak,
+			Elapsed:       sol.Stats.Runtime,
 		})
 	}
 	return sol, nil
@@ -193,6 +197,17 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) 
 	}
 
 	sh := newSharedSearch(p, opt, budget, seed)
+	if sh.cache != nil && opt.Algorithm == AlgHeuristic2 {
+		// The DFS re-reaches the seed's input state; memoize its greedy
+		// result so that leaf is answered from the cache.  (Not for
+		// AlgExact: its leaves run the exact descent, which a greedy
+		// result must never answer.)
+		states, err := p.gateStates(seed.State)
+		if err != nil {
+			return nil, err
+		}
+		sh.cache.put(states, leafGreedy, seed)
+	}
 	if ctx.Err() != nil {
 		// Already canceled: the incumbent is the answer (the legacy
 		// Heuristic2 behaved this way for a zero time budget).

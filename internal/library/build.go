@@ -241,6 +241,13 @@ func BuildCell(p *tech.Params, opt Options, tpl *cell.Template) (*Cell, error) {
 			}
 			return a.Version.Index < b.Version.Index
 		})
+		for i := range c.Choices[s] {
+			ch := &c.Choices[s][i]
+			ch.Arcs = make([]*cell.PinTiming, tpl.NumInputs)
+			for pin := 0; pin < tpl.NumInputs; pin++ {
+				ch.Arcs[pin] = &ch.Version.Timing[ch.TemplatePin(pin)]
+			}
+		}
 	}
 	return c, nil
 }

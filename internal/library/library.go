@@ -128,6 +128,13 @@ type Choice struct {
 	// Leak and Isub are the leakage (nA) of the gate under this choice at
 	// the instance state this choice was built for.
 	Leak, Isub float64
+	// Arcs caches Version.Timing in *instance*-pin order (Perm already
+	// applied): Arcs[i] == &Version.Timing[TemplatePin(i)].  The STA inner
+	// loop indexes it directly instead of resolving the permutation per
+	// fan-in per evaluation.  Library-built choices always populate it;
+	// hand-assembled Choice literals may leave it nil, and evaluators fall
+	// back to the Perm indirection.
+	Arcs []*cell.PinTiming
 }
 
 // TemplatePin maps an instance pin to the template pin it connects to.

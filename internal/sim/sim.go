@@ -16,22 +16,35 @@ import (
 // Eval computes all net values for the given primary-input assignment.
 // The result is indexed by net id.
 func Eval(cc *netlist.Compiled, pi []bool) ([]bool, error) {
-	if len(pi) != len(cc.PI) {
-		return nil, fmt.Errorf("sim: %d PI values for %d inputs", len(pi), len(cc.PI))
-	}
 	vals := make([]bool, cc.NumNets())
+	if err := EvalInto(cc, pi, vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// EvalInto is Eval writing into a caller-provided net-value buffer of
+// length NumNets, allocating nothing — the per-leaf simulation primitive of
+// the optimizer's search workers.
+func EvalInto(cc *netlist.Compiled, pi []bool, vals []bool) error {
+	if len(pi) != len(cc.PI) {
+		return fmt.Errorf("sim: %d PI values for %d inputs", len(pi), len(cc.PI))
+	}
+	if len(vals) != cc.NumNets() {
+		return fmt.Errorf("sim: %d value slots for %d nets", len(vals), cc.NumNets())
+	}
 	for i, net := range cc.PI {
 		vals[net] = pi[i]
 	}
-	in := make([]bool, 8)
+	var in [8]bool
 	for _, g := range cc.Gates {
-		in = in[:len(g.In)]
+		buf := in[:len(g.In)]
 		for k, net := range g.In {
-			in[k] = vals[net]
+			buf[k] = vals[net]
 		}
-		vals[g.Out] = g.Op.Eval(in)
+		vals[g.Out] = g.Op.Eval(buf)
 	}
-	return vals, nil
+	return nil
 }
 
 // GateState returns the input-state bitmask of gate g under the net values:

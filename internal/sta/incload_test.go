@@ -1,0 +1,140 @@
+package sta
+
+import (
+	"math/rand"
+	"testing"
+
+	"svto/internal/gen"
+	"svto/internal/library"
+)
+
+// randomTimer builds a timer over a deterministic random-logic block large
+// enough for version changes to overlap fan-out cones.
+func randomTimer(t *testing.T) *Timer {
+	t.Helper()
+	circ, err := gen.RandomLogic("incload", 17, 16, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := circ.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newTimer(t, cc)
+}
+
+// randomChoice picks a random valid choice for a random gate.
+func randomChoice(rng *rand.Rand, tm *Timer) (int, *library.Choice) {
+	gi := rng.Intn(len(tm.CC.Gates))
+	cell := tm.Cells[gi]
+	st := uint(rng.Intn(cell.Template.NumStates()))
+	chs := cell.Choices[st]
+	return gi, &chs[rng.Intn(len(chs))]
+}
+
+// The cached per-net loads must stay bit-for-bit equal to a from-scratch
+// rescan after arbitrary SetChoice sequences: SetChoice refreshes exactly
+// the nets whose reader pin caps changed, and recomputeLoad is the
+// canonical summation both paths share.
+func TestNetLoadMatchesRescan(t *testing.T) {
+	tm := randomTimer(t)
+	state, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for step := 0; step < 200; step++ {
+		gi, ch := randomChoice(rng, tm)
+		state.SetChoice(gi, ch)
+		for net := 0; net < tm.CC.NumNets(); net++ {
+			if got, want := state.Load(net), state.recomputeLoad(net); got != want {
+				t.Fatalf("step %d: net %d cached load %v != rescan %v", step, net, got, want)
+			}
+		}
+	}
+}
+
+// Reanalyze must reproduce NewState bit for bit: the search workers replace
+// the per-leaf Timer.Analyze (which allocates a fresh State) with an
+// in-place Reanalyze of a scratch state, and the leaf results are asserted
+// bit-for-bit identical across that swap.
+func TestReanalyzeMatchesNewState(t *testing.T) {
+	tm := randomTimer(t)
+	scratch, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(29))
+	choices := make([]*library.Choice, len(tm.CC.Gates))
+	for trial := 0; trial < 25; trial++ {
+		for gi := range choices {
+			cell := tm.Cells[gi]
+			st := uint(rng.Intn(cell.Template.NumStates()))
+			chs := cell.Choices[st]
+			choices[gi] = &chs[rng.Intn(len(chs))]
+		}
+		// Dirty the scratch state with a few incremental edits first, so
+		// Reanalyze starts from a non-pristine but quiescent state.
+		for k := 0; k < 3; k++ {
+			gi, ch := randomChoice(rng, tm)
+			scratch.SetChoice(gi, ch)
+		}
+		scratch.Reanalyze(choices)
+		fresh, err := tm.NewState(choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for net := 0; net < tm.CC.NumNets(); net++ {
+			if scratch.arrR[net] != fresh.arrR[net] || scratch.arrF[net] != fresh.arrF[net] {
+				t.Fatalf("trial %d: net %d arrival (%v,%v) != fresh (%v,%v)", trial, net,
+					scratch.arrR[net], scratch.arrF[net], fresh.arrR[net], fresh.arrF[net])
+			}
+			if scratch.slewR[net] != fresh.slewR[net] || scratch.slewF[net] != fresh.slewF[net] {
+				t.Fatalf("trial %d: net %d slew (%v,%v) != fresh (%v,%v)", trial, net,
+					scratch.slewR[net], scratch.slewF[net], fresh.slewR[net], fresh.slewF[net])
+			}
+			if scratch.netLoad[net] != fresh.netLoad[net] {
+				t.Fatalf("trial %d: net %d load %v != fresh %v", trial, net,
+					scratch.netLoad[net], fresh.netLoad[net])
+			}
+		}
+		if scratch.Delay() != fresh.Delay() {
+			t.Fatalf("trial %d: delay %v != fresh %v", trial, scratch.Delay(), fresh.Delay())
+		}
+	}
+}
+
+// Clone and CopyFrom must carry the cached loads: a clone re-timed on its
+// own never disturbs the original, and CopyFrom restores every timing and
+// load word bitwise.
+func TestCloneCopyFromCarryLoads(t *testing.T) {
+	tm := randomTimer(t)
+	base, err := tm.NewState(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), base.netLoad...)
+	clone := base.Clone()
+	rng := rand.New(rand.NewSource(31))
+	for step := 0; step < 50; step++ {
+		gi, ch := randomChoice(rng, tm)
+		clone.SetChoice(gi, ch)
+	}
+	for net, want := range snapshot {
+		if base.netLoad[net] != want {
+			t.Fatalf("net %d: base load disturbed by clone edits: %v != %v", net, base.netLoad[net], want)
+		}
+		if clone.netLoad[net] != clone.recomputeLoad(net) {
+			t.Fatalf("net %d: clone cached load %v != rescan %v", net, clone.netLoad[net], clone.recomputeLoad(net))
+		}
+	}
+	clone.CopyFrom(base)
+	for net, want := range snapshot {
+		if clone.netLoad[net] != want {
+			t.Fatalf("net %d: CopyFrom load %v != base %v", net, clone.netLoad[net], want)
+		}
+	}
+	if clone.Delay() != base.Delay() {
+		t.Fatalf("CopyFrom delay %v != base %v", clone.Delay(), base.Delay())
+	}
+}

@@ -61,7 +61,7 @@ func (s *State) Slacks(required float64) *SlackReport {
 			continue
 		}
 		ch := s.choices[gi]
-		load := s.load(g.Out)
+		load := s.netLoad[g.Out]
 		for pin, in := range g.In {
 			arcs := ch.Timing(pin)
 			// Output rise launches from input fall; output fall from
@@ -121,7 +121,7 @@ func (s *State) criticalPath() []int {
 		}
 		g := &cc.Gates[gi]
 		ch := s.choices[gi]
-		load := s.load(g.Out)
+		load := s.netLoad[g.Out]
 		bestNet, bestArr := -1, -1.0
 		for pin, in := range g.In {
 			arcs := ch.Timing(pin)

@@ -107,7 +107,7 @@ func TestSlackConsistency(t *testing.T) {
 	for gi := range cc.Gates {
 		g := &cc.Gates[gi]
 		ch := st.Choice(gi)
-		load := st.load(g.Out)
+		load := st.netLoad[g.Out]
 		for pin, in := range g.In {
 			arcs := ch.Timing(pin)
 			if outR := rep.RequiredRise[g.Out]; !math.IsInf(outR, 1) {

@@ -8,13 +8,20 @@
 // Two evaluation modes are provided: a full topological analysis, and an
 // incremental State that re-propagates only the affected cone when one
 // gate's version choice changes — the operation the optimizer's gate-tree
-// descent performs tens of thousands of times.
+// descent performs tens of thousands of times.  The incremental path is
+// allocation-free after construction: net loads are cached per net (the
+// choice-independent wire/PO part precomputed once on the Timer, the
+// pin-capacitance part refreshed only for the nets a SetChoice actually
+// touches), gate fan-ins are flattened into contiguous index tables, and
+// the propagation heap is pre-sized to the gate count.
 package sta
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
+	"svto/internal/cell"
 	"svto/internal/library"
 	"svto/internal/netlist"
 )
@@ -41,6 +48,29 @@ type Timer struct {
 	Lib   *library.Library
 	Cells []*library.Cell // indexed by gate position
 	Cfg   Config
+
+	// staticLoad[net] is the choice-independent load component of a net:
+	// wire capacitance per fan-out connection plus the primary-output load.
+	// Computed once; the dynamic pin-capacitance part lives on each State.
+	staticLoad []float64
+	// Flattened fan-in tables: gate gi reads nets
+	// faninNet[faninOff[gi]:faninOff[gi+1]] (instance pin k is entry
+	// faninOff[gi]+k) and drives outNet[gi].  evalGate walks these flat
+	// slices instead of chasing per-gate slice headers.
+	faninOff []int32
+	faninNet []int32
+	outNet   []int32
+	// sharedAxes reports that every NLDM table of every reachable cell
+	// version interpolates over the same two axis slices (axisX input slew,
+	// axisY output load) — true for the built-in characterized library,
+	// which samples one global grid.  When set, States cache the
+	// grid-segment index and interpolation fraction per net alongside each
+	// stored slew and load, so evalGate skips the per-table axis search
+	// entirely: four Table2D.At probes per fan-in arc instead of four full
+	// Lookups.  The fractions are computed by cell.Coord from the same
+	// stored values Lookup would use, so results stay bit-for-bit equal.
+	sharedAxes   bool
+	axisX, axisY []float64
 }
 
 // New resolves every gate to its library cell.
@@ -59,7 +89,79 @@ func New(cc *netlist.Compiled, lib *library.Library, cfg Config) (*Timer, error)
 		}
 		t.Cells[i] = cell
 	}
+	t.staticLoad = make([]float64, cc.NumNets())
+	for net := range t.staticLoad {
+		l := cfg.WireCapPerFanout * float64(len(cc.Fanout[net]))
+		if cc.IsPO[net] {
+			l += cfg.OutputLoad
+		}
+		t.staticLoad[net] = l
+	}
+	t.faninOff = make([]int32, len(cc.Gates)+1)
+	t.outNet = make([]int32, len(cc.Gates))
+	pins := 0
+	for i := range cc.Gates {
+		pins += len(cc.Gates[i].In)
+	}
+	t.faninNet = make([]int32, 0, pins)
+	for i := range cc.Gates {
+		t.faninOff[i] = int32(len(t.faninNet))
+		for _, in := range cc.Gates[i].In {
+			t.faninNet = append(t.faninNet, int32(in))
+		}
+		t.outNet[i] = int32(cc.Gates[i].Out)
+	}
+	t.faninOff[len(cc.Gates)] = int32(len(t.faninNet))
+	t.detectSharedAxes()
 	return t, nil
+}
+
+// detectSharedAxes scans every timing table reachable through the resolved
+// cells and records whether they all interpolate over one global axis pair.
+// Identity is by backing array (same first-element address and length), so a
+// positive answer cannot be invalidated by a later-built separate copy.
+func (t *Timer) detectSharedAxes() {
+	sameAxis := func(a, b []float64) bool {
+		return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+	}
+	seen := make(map[*library.Version]bool)
+	ok := true
+	checkTable := func(tab *cell.Table2D) {
+		if tab == nil || len(tab.X) == 0 || len(tab.Y) == 0 {
+			ok = false
+			return
+		}
+		if t.axisX == nil {
+			t.axisX, t.axisY = tab.X, tab.Y
+			return
+		}
+		if !sameAxis(tab.X, t.axisX) || !sameAxis(tab.Y, t.axisY) {
+			ok = false
+		}
+	}
+	checkVersion := func(v *library.Version) {
+		if v == nil || seen[v] {
+			return
+		}
+		seen[v] = true
+		for i := range v.Timing {
+			pt := &v.Timing[i]
+			checkTable(pt.Rise.Delay)
+			checkTable(pt.Rise.Slew)
+			checkTable(pt.Fall.Delay)
+			checkTable(pt.Fall.Slew)
+		}
+	}
+	for _, c := range t.Cells {
+		for _, v := range c.Versions {
+			checkVersion(v)
+		}
+		checkVersion(c.Slow)
+	}
+	t.sharedAxes = ok && t.axisX != nil
+	if !t.sharedAxes {
+		t.axisX, t.axisY = nil, nil
+	}
 }
 
 // FastChoices returns the all-fast (minimum delay) choice assignment.
@@ -87,8 +189,25 @@ type State struct {
 	choices []*library.Choice
 	// Per-net arrival times and slews (ps), split by transition.
 	arrR, arrF, slewR, slewF []float64
-	dirty                    *gateHeap
-	inQueue                  []bool
+	// netLoad[net] is the cached total load: Timer.staticLoad plus the
+	// fan-out pin capacitances under the current choices.  Refreshed by
+	// SetChoice for exactly the nets whose readers changed, always in the
+	// same canonical summation order, so its values are bit-for-bit the
+	// ones a from-scratch rescan would produce.
+	netLoad []float64
+	dirty   dirtySet
+	// Per-net interpolation coordinates, maintained only when the Timer
+	// reports sharedAxes: the axis-segment index and fraction cell.Coord
+	// yields for the *stored* slew/load words above.  They are refreshed at
+	// exactly the sites that store those words (evalGate for slews,
+	// recompute sites for loads), so every table probe in evalGate reuses
+	// them instead of re-running the segment search per table.  Stale
+	// stored slews (left by the eps cutoff) keep their matching stale
+	// coordinates, preserving the incremental path bit for bit.
+	slewRI, slewFI   []int32
+	slewRFx, slewFFx []float64
+	loadJ            []int32
+	loadFy           []float64
 }
 
 // NewState builds a fully-analyzed timing state for the given choices.
@@ -105,12 +224,29 @@ func (t *Timer) NewState(choices []*library.Choice) (*State, error) {
 		arrF:    make([]float64, n),
 		slewR:   make([]float64, n),
 		slewF:   make([]float64, n),
-		dirty:   &gateHeap{},
-		inQueue: make([]bool, len(t.CC.Gates)),
+		netLoad: make([]float64, n),
+		dirty:   newDirtySet(len(t.CC.Gates)),
+	}
+	if t.sharedAxes {
+		s.slewRI = make([]int32, n)
+		s.slewFI = make([]int32, n)
+		s.slewRFx = make([]float64, n)
+		s.slewFFx = make([]float64, n)
+		s.loadJ = make([]int32, n)
+		s.loadFy = make([]float64, n)
 	}
 	for _, pi := range t.CC.PI {
 		s.slewR[pi] = t.Cfg.InputSlew
 		s.slewF[pi] = t.Cfg.InputSlew
+		if t.sharedAxes {
+			s.refreshSlewCoords(pi)
+		}
+	}
+	for net := range s.netLoad {
+		s.netLoad[net] = s.recomputeLoad(net)
+		if t.sharedAxes {
+			s.refreshLoadCoord(net)
+		}
 	}
 	for i := range t.CC.Gates {
 		s.evalGate(i)
@@ -118,14 +254,33 @@ func (t *Timer) NewState(choices []*library.Choice) (*State, error) {
 	return s, nil
 }
 
+// refreshSlewCoords re-derives the cached interpolation coordinates of a
+// net's stored slews.  Must be called at every site that stores slewR/slewF
+// when the Timer has shared axes.
+func (s *State) refreshSlewCoords(net int) {
+	i, fx := cell.Coord(s.t.axisX, s.slewR[net])
+	s.slewRI[net], s.slewRFx[net] = int32(i), fx
+	i, fx = cell.Coord(s.t.axisX, s.slewF[net])
+	s.slewFI[net], s.slewFFx[net] = int32(i), fx
+}
+
+// refreshLoadCoord re-derives the cached interpolation coordinate of a net's
+// stored load.  Must be called at every site that stores netLoad when the
+// Timer has shared axes.
+func (s *State) refreshLoadCoord(net int) {
+	j, fy := cell.Coord(s.t.axisY, s.netLoad[net])
+	s.loadJ[net], s.loadFy[net] = int32(j), fy
+}
+
 // Choice returns the current choice of a gate.
 func (s *State) Choice(gate int) *library.Choice { return s.choices[gate] }
 
 // Clone returns an independent copy of a quiescent timing state.  The copy
-// shares the read-only Timer but owns its arrival/slew/choice storage, so a
-// clone can be re-timed concurrently with the original.  Cloning is a plain
-// O(nets) copy — far cheaper than NewState's full re-analysis — which is what
-// lets every parallel search worker start from a precomputed baseline.
+// shares the read-only Timer but owns its arrival/slew/load/choice storage,
+// so a clone can be re-timed concurrently with the original.  Cloning is a
+// plain O(nets) copy — far cheaper than NewState's full re-analysis — which
+// is what lets every parallel search worker start from a precomputed
+// baseline.
 func (s *State) Clone() *State {
 	c := &State{
 		t:       s.t,
@@ -134,13 +289,19 @@ func (s *State) Clone() *State {
 		arrF:    append([]float64(nil), s.arrF...),
 		slewR:   append([]float64(nil), s.slewR...),
 		slewF:   append([]float64(nil), s.slewF...),
-		dirty:   &gateHeap{},
-		inQueue: make([]bool, len(s.t.CC.Gates)),
+		netLoad: append([]float64(nil), s.netLoad...),
+		dirty:   newDirtySet(len(s.t.CC.Gates)),
+		slewRI:  append([]int32(nil), s.slewRI...),
+		slewFI:  append([]int32(nil), s.slewFI...),
+		slewRFx: append([]float64(nil), s.slewRFx...),
+		slewFFx: append([]float64(nil), s.slewFFx...),
+		loadJ:   append([]int32(nil), s.loadJ...),
+		loadFy:  append([]float64(nil), s.loadFy...),
 	}
 	return c
 }
 
-// CopyFrom overwrites s with o's choices and timing without any
+// CopyFrom overwrites s with o's choices, timing and net loads without any
 // re-analysis.  Both states must belong to the same Timer and be quiescent
 // (no propagation in flight).  It is the reset operation of the search
 // workers: one copy per leaf instead of one full analysis per leaf.
@@ -153,85 +314,190 @@ func (s *State) CopyFrom(o *State) {
 	copy(s.arrF, o.arrF)
 	copy(s.slewR, o.slewR)
 	copy(s.slewF, o.slewF)
+	copy(s.netLoad, o.netLoad)
+	copy(s.slewRI, o.slewRI)
+	copy(s.slewFI, o.slewFI)
+	copy(s.slewRFx, o.slewRFx)
+	copy(s.slewFFx, o.slewFFx)
+	copy(s.loadJ, o.loadJ)
+	copy(s.loadFy, o.loadFy)
 }
 
-// load computes the capacitance on a net from its fan-out pins.
-func (s *State) load(net int) float64 {
-	cc := s.t.CC
-	l := s.t.Cfg.WireCapPerFanout * float64(len(cc.Fanout[net]))
-	if cc.IsPO[net] {
-		l += s.t.Cfg.OutputLoad
+// Reanalyze re-runs the full from-scratch analysis for the given choices in
+// place, producing bit-for-bit the state NewState would build — arrival and
+// slew arrays reset, every net load recomputed in canonical order, every
+// gate evaluated once in topological order — without allocating.  It is the
+// allocation-free replacement for the per-leaf Timer.Analyze call of the
+// search workers.  The choices slice is copied and must match the gate
+// count.
+func (s *State) Reanalyze(choices []*library.Choice) {
+	if len(choices) != len(s.t.CC.Gates) {
+		panic(fmt.Sprintf("sta: Reanalyze with %d choices for %d gates", len(choices), len(s.t.CC.Gates)))
 	}
-	for _, gi := range cc.Fanout[net] {
-		g := &cc.Gates[gi]
-		for pin, in := range g.In {
-			if in == net {
-				l += s.choices[gi].PinCap(pin)
+	copy(s.choices, choices)
+	for i := range s.arrR {
+		s.arrR[i], s.arrF[i] = 0, 0
+		s.slewR[i], s.slewF[i] = 0, 0
+	}
+	shared := s.t.sharedAxes
+	for _, pi := range s.t.CC.PI {
+		s.slewR[pi] = s.t.Cfg.InputSlew
+		s.slewF[pi] = s.t.Cfg.InputSlew
+		if shared {
+			s.refreshSlewCoords(pi)
+		}
+	}
+	for net := range s.netLoad {
+		s.netLoad[net] = s.recomputeLoad(net)
+		if shared {
+			s.refreshLoadCoord(net)
+		}
+	}
+	for i := range s.t.CC.Gates {
+		s.evalGate(i)
+	}
+}
+
+// recomputeLoad sums a net's load from scratch: the precomputed wire+PO
+// component, then the fan-out pin capacitances in fan-out order — the same
+// canonical order the original per-eval rescan used, so cached values stay
+// bit-for-bit identical to it.
+func (s *State) recomputeLoad(net int) float64 {
+	t := s.t
+	l := t.staticLoad[net]
+	for _, gi := range t.CC.Fanout[net] {
+		ch := s.choices[gi]
+		off, end := t.faninOff[gi], t.faninOff[gi+1]
+		for k := off; k < end; k++ {
+			if int(t.faninNet[k]) == net {
+				l += ch.PinCap(int(k - off))
 			}
 		}
 	}
 	return l
 }
 
-// evalGate recomputes a gate's output arrival/slew; reports change.
+// Load returns the current cached capacitance on a net.
+func (s *State) Load(net int) float64 { return s.netLoad[net] }
+
+// evalGate recomputes a gate's output arrival/slew; reports change.  With
+// shared axes it probes each table at the per-net cached coordinates — the
+// segment searches and divisions Lookup would repeat per table were already
+// paid when the slews and load were stored.
 func (s *State) evalGate(gi int) bool {
-	cc := s.t.CC
-	g := &cc.Gates[gi]
+	t := s.t
 	ch := s.choices[gi]
-	load := s.load(g.Out)
+	out := int(t.outNet[gi])
+	timing := ch.Version.Timing
+	perm := ch.Perm
+	off, end := t.faninOff[gi], t.faninOff[gi+1]
 	var aR, aF, sR, sF float64
-	for pin, in := range g.In {
-		arcs := ch.Timing(pin)
-		// Inverting cell: output rise launches from input fall.
-		r := s.arrF[in] + arcs.Rise.Delay.Lookup(s.slewF[in], load)
-		f := s.arrR[in] + arcs.Fall.Delay.Lookup(s.slewR[in], load)
-		aR = math.Max(aR, r)
-		aF = math.Max(aF, f)
-		sR = math.Max(sR, arcs.Rise.Slew.Lookup(s.slewF[in], load))
-		sF = math.Max(sF, arcs.Fall.Slew.Lookup(s.slewR[in], load))
+	if t.sharedAxes && ch.Arcs != nil {
+		byPin := ch.Arcs
+		j, fy := int(s.loadJ[out]), s.loadFy[out]
+		for k := off; k < end; k++ {
+			in := int(t.faninNet[k])
+			arcs := byPin[k-off]
+			iF, fxF := int(s.slewFI[in]), s.slewFFx[in]
+			iR, fxR := int(s.slewRI[in]), s.slewRFx[in]
+			// Inverting cell: output rise launches from input fall.
+			r := s.arrF[in] + arcs.Rise.Delay.At(iF, j, fxF, fy)
+			f := s.arrR[in] + arcs.Fall.Delay.At(iR, j, fxR, fy)
+			if r > aR {
+				aR = r
+			}
+			if f > aF {
+				aF = f
+			}
+			if v := arcs.Rise.Slew.At(iF, j, fxF, fy); v > sR {
+				sR = v
+			}
+			if v := arcs.Fall.Slew.At(iR, j, fxR, fy); v > sF {
+				sF = v
+			}
+		}
+	} else {
+		load := s.netLoad[out]
+		for k := off; k < end; k++ {
+			in := int(t.faninNet[k])
+			tp := int(k - off)
+			if perm != nil {
+				tp = perm[tp]
+			}
+			arcs := &timing[tp]
+			// Inverting cell: output rise launches from input fall.
+			r := s.arrF[in] + arcs.Rise.Delay.Lookup(s.slewF[in], load)
+			f := s.arrR[in] + arcs.Fall.Delay.Lookup(s.slewR[in], load)
+			if r > aR {
+				aR = r
+			}
+			if f > aF {
+				aF = f
+			}
+			if v := arcs.Rise.Slew.Lookup(s.slewF[in], load); v > sR {
+				sR = v
+			}
+			if v := arcs.Fall.Slew.Lookup(s.slewR[in], load); v > sF {
+				sF = v
+			}
+		}
 	}
 	const eps = 1e-9
-	changed := math.Abs(aR-s.arrR[g.Out]) > eps || math.Abs(aF-s.arrF[g.Out]) > eps ||
-		math.Abs(sR-s.slewR[g.Out]) > eps || math.Abs(sF-s.slewF[g.Out]) > eps
-	s.arrR[g.Out], s.arrF[g.Out] = aR, aF
-	s.slewR[g.Out], s.slewF[g.Out] = sR, sF
+	changed := math.Abs(aR-s.arrR[out]) > eps || math.Abs(aF-s.arrF[out]) > eps ||
+		math.Abs(sR-s.slewR[out]) > eps || math.Abs(sF-s.slewF[out]) > eps
+	s.arrR[out], s.arrF[out] = aR, aF
+	s.slewR[out], s.slewF[out] = sR, sF
+	if t.sharedAxes {
+		s.refreshSlewCoords(out)
+	}
 	return changed
 }
 
 // markDirty queues a gate for re-evaluation.
 func (s *State) markDirty(gi int) {
-	if gi >= 0 && !s.inQueue[gi] {
-		s.inQueue[gi] = true
-		s.dirty.push(gi)
+	if gi >= 0 {
+		s.dirty.add(gi)
 	}
 }
 
 // SetChoice changes one gate's version choice and re-propagates timing
 // through the affected cone.  Changing a choice alters the gate's own arcs
 // and, through its pin capacitances, the loads (and hence delays) of its
-// fan-in drivers.
+// fan-in drivers.  Only the loads of the gate's own input nets can change,
+// so exactly those are refreshed.
 func (s *State) SetChoice(gate int, ch *library.Choice) {
 	if s.choices[gate] == ch {
 		return
 	}
 	s.choices[gate] = ch
-	s.markDirty(gate)
-	cc := s.t.CC
-	for _, in := range cc.Gates[gate].In {
-		s.markDirty(cc.GateOfNet[in])
+	t := s.t
+	gateOfNet := t.CC.GateOfNet
+	off, end := t.faninOff[gate], t.faninOff[gate+1]
+	for k := off; k < end; k++ {
+		in := int(t.faninNet[k])
+		s.netLoad[in] = s.recomputeLoad(in)
+		if t.sharedAxes {
+			s.refreshLoadCoord(in)
+		}
+		s.markDirty(gateOfNet[in])
 	}
+	s.markDirty(gate)
 	s.propagate()
 }
 
-// propagate drains the dirty queue in topological order.
+// propagate drains the dirty set in topological order.  Re-evaluating gate
+// gi can only mark gates downstream of it (readers of its output net, which
+// topological compilation numbers strictly above gi), so the forward
+// bit-scan of dirtySet visits exactly the gates a min-heap would pop, in the
+// same ascending-index order.
 func (s *State) propagate() {
-	cc := s.t.CC
-	for s.dirty.Len() > 0 {
+	fanout := s.t.CC.Fanout
+	outNet := s.t.outNet
+	for !s.dirty.empty() {
 		gi := s.dirty.pop()
-		s.inQueue[gi] = false
 		if s.evalGate(gi) {
-			for _, reader := range cc.Fanout[cc.Gates[gi].Out] {
-				s.markDirty(reader)
+			for _, reader := range fanout[outNet[gi]] {
+				s.dirty.add(reader)
 			}
 		}
 	}
@@ -241,7 +507,12 @@ func (s *State) propagate() {
 func (s *State) Delay() float64 {
 	d := 0.0
 	for _, po := range s.t.CC.PO {
-		d = math.Max(d, math.Max(s.arrR[po], s.arrF[po]))
+		if a := s.arrR[po]; a > d {
+			d = a
+		}
+		if a := s.arrF[po]; a > d {
+			d = a
+		}
 	}
 	return d
 }
@@ -281,46 +552,48 @@ func Constraint(dmin, dmax, penalty float64) float64 {
 	return dmin + penalty*(dmax-dmin)
 }
 
-// gateHeap is a small binary min-heap of gate indexes, giving topological
-// processing order during propagation.
-type gateHeap []int
+// dirtySet tracks the gates pending re-evaluation as a fixed-size bitset
+// with live index bounds.  It replaces a binary min-heap: propagation only
+// ever inserts indexes above the one just removed (fan-out readers are
+// topologically later), so removing the minimum is a forward bit-scan that
+// never revisits a word — O(words + members) per drain, allocation-free,
+// with automatic deduplication.
+type dirtySet struct {
+	words    []uint64
+	min, max int // inclusive index bounds of set bits; min > max means empty
+}
 
-func (h gateHeap) Len() int { return len(h) }
+func newDirtySet(n int) dirtySet {
+	return dirtySet{words: make([]uint64, (n+63)/64), min: n, max: -1}
+}
 
-func (h *gateHeap) push(v int) {
-	*h = append(*h, v)
-	i := len(*h) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if (*h)[parent] <= (*h)[i] {
-			break
-		}
-		(*h)[parent], (*h)[i] = (*h)[i], (*h)[parent]
-		i = parent
+func (d *dirtySet) empty() bool { return d.min > d.max }
+
+func (d *dirtySet) add(gi int) {
+	d.words[gi>>6] |= 1 << uint(gi&63)
+	if gi < d.min {
+		d.min = gi
+	}
+	if gi > d.max {
+		d.max = gi
 	}
 }
 
-func (h *gateHeap) pop() int {
-	old := *h
-	top := old[0]
-	last := len(old) - 1
-	old[0] = old[last]
-	*h = old[:last]
-	i, n := 0, last
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && (*h)[l] < (*h)[small] {
-			small = l
-		}
-		if r < n && (*h)[r] < (*h)[small] {
-			small = r
-		}
-		if small == i {
-			break
-		}
-		(*h)[i], (*h)[small] = (*h)[small], (*h)[i]
-		i = small
+// pop removes and returns the smallest member.  Between two pops callers
+// may only add members larger than the first pop's result; the set must not
+// be empty.
+func (d *dirtySet) pop() int {
+	wi := d.min >> 6
+	for d.words[wi] == 0 {
+		wi++
 	}
-	return top
+	b := bits.TrailingZeros64(d.words[wi])
+	gi := wi<<6 + b
+	d.words[wi] &^= 1 << uint(b)
+	if gi == d.max {
+		d.min, d.max = len(d.words)<<6, -1
+	} else {
+		d.min = gi + 1
+	}
+	return gi
 }

@@ -220,18 +220,32 @@ func TestStateArgumentCheck(t *testing.T) {
 	}
 }
 
-func TestGateHeapOrdering(t *testing.T) {
-	h := &gateHeap{}
-	for _, v := range []int{5, 3, 9, 1, 7, 3, 0} {
-		h.push(v)
+func TestDirtySetOrdering(t *testing.T) {
+	d := newDirtySet(70)
+	for _, v := range []int{5, 3, 69, 1, 64, 3, 0} {
+		d.add(v)
 	}
-	prev := -1
-	for h.Len() > 0 {
-		v := h.pop()
-		if v < prev {
-			t.Fatalf("heap popped out of order: %d after %d", v, prev)
+	var got []int
+	for !d.empty() {
+		v := d.pop()
+		// Mimic propagation: marks between pops are always downstream.
+		if v == 1 {
+			d.add(7)
 		}
-		prev = v
+		got = append(got, v)
+	}
+	want := []int{0, 1, 3, 5, 7, 64, 69}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v (dedup + ascending order)", got, want)
+		}
+	}
+	d.add(13)
+	if d.empty() || d.pop() != 13 || !d.empty() {
+		t.Fatal("dirty set not reusable after drain")
 	}
 }
 
