@@ -7,6 +7,7 @@
 //	benchgen -out ./benchmarks            # write all eleven circuits
 //	benchgen -name c6288 -out .           # just the multiplier
 //	benchgen -stats                       # print sizes without writing
+//	benchgen -random smoke:7:14:150 -out . # seeded random circuit
 package main
 
 import (
@@ -14,6 +15,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"strconv"
+	"strings"
 
 	"svto/internal/gen"
 	"svto/internal/netlist"
@@ -24,6 +28,7 @@ func main() {
 	var (
 		out    = flag.String("out", "", "output directory for netlist files")
 		name   = flag.String("name", "", "emit a single named benchmark")
+		random = flag.String("random", "", "emit a random circuit: name:seed:inputs:gates")
 		stats  = flag.Bool("stats", false, "print circuit statistics")
 		format = flag.String("format", "bench", "output format: bench | verilog")
 	)
@@ -31,6 +36,13 @@ func main() {
 	if *out == "" && !*stats {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *random != "" {
+		if err := emitRandom(*random, *out, *format, *stats); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	profiles := gen.Benchmarks()
@@ -82,6 +94,61 @@ func main() {
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
+}
+
+// emitRandom builds a seeded random circuit described as
+// "name:seed:inputs:gates" and writes it like the named benchmarks.
+func emitRandom(spec, out, format string, stats bool) error {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		return fmt.Errorf("-random wants name:seed:inputs:gates, got %q", spec)
+	}
+	name := parts[0]
+	nums := make([]int64, 3)
+	for i, p := range parts[1:] {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return fmt.Errorf("-random %q: %w", spec, err)
+		}
+		nums[i] = v
+	}
+	c, err := gen.RandomLogic(name, nums[0], int(nums[1]), int(nums[2]))
+	if err != nil {
+		return err
+	}
+	if stats {
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s %8d %8d %8d %6d\n", name, st.Inputs, st.Outputs, st.Gates, st.Depth)
+	}
+	if out == "" {
+		return nil
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	ext, write := ".bench", netlist.WriteBench
+	if format == "verilog" {
+		ext, write = ".v", verilog.Write
+	} else if format != "bench" {
+		return fmt.Errorf("unknown format %q", format)
+	}
+	path := filepath.Join(out, name+ext)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func fatal(err error) {

@@ -7,9 +7,13 @@
 //	leakopt -bench c880 -penalty 5 -method heu2 -heu2sec 5 -workers 4
 //	leakopt -in mydesign.bench -penalty 10 -method heu1 -show-vector
 //	leakopt -bench c432 -method compare -timing -mc 2000
+//	leakopt -bench c880 -method heu2 -checkpoint c880.ckpt
+//	leakopt -bench c880 -method heu2 -checkpoint c880.ckpt -resume
 //
 // Ctrl-C interrupts a running search and reports the best solution found
-// so far.
+// so far.  With -checkpoint the interrupted (or killed and restarted)
+// search also leaves a crash-safe snapshot behind that -resume continues
+// from.
 package main
 
 import (
@@ -47,6 +51,10 @@ func main() {
 		method    = flag.String("method", "heu1", "heu1 | heu2 | exact | state-only | vt-state | compare")
 		heu2sec   = flag.Float64("heu2sec", 5, "heuristic 2 time budget (seconds)")
 		workers   = flag.Int("workers", 1, "parallel search workers (0 = all CPUs)")
+		maxLeaves = flag.Int64("max-leaves", 0, "stop after this many complete states (0 = unlimited)")
+		ckPath    = flag.String("checkpoint", "", "write crash-safe search snapshots to this file (heu2/exact)")
+		ckEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "periodic snapshot cadence for -checkpoint")
+		ckResume  = flag.Bool("resume", false, "resume the search from the -checkpoint snapshot")
 		progress  = flag.Duration("progress", 0, "print search progress at this interval (e.g. 2s; 0 = off)")
 		libOpt    = flag.String("library", "4opt", "4opt | 2opt | 4opt-uniform | 2opt-uniform")
 		vectors   = flag.Int("vectors", 10000, "random vectors for the reference average")
@@ -64,6 +72,13 @@ func main() {
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if (*ckPath != "" || *ckResume) && *method != "heu2" && *method != "exact" {
+		fatal(fmt.Errorf("-checkpoint/-resume require -method heu2 or exact (got %q)", *method))
+	}
+	if *ckResume && *ckPath == "" {
+		fatal(fmt.Errorf("-resume requires -checkpoint"))
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -223,7 +238,15 @@ func main() {
 	run := func(label string, f func() (*core.Solution, error)) *core.Solution {
 		sol, err := f()
 		if err != nil {
-			fatal(err)
+			if sol == nil {
+				fatal(err)
+			}
+			// Degraded run (e.g. every worker died): report the incumbent
+			// but make the failure visible.
+			fmt.Fprintf(os.Stderr, "leakopt: warning: %v (reporting best solution found)\n", err)
+		}
+		for _, wf := range sol.Stats.WorkerFailures {
+			fmt.Fprintf(os.Stderr, "leakopt: warning: search worker %d died: %s\n", wf.Worker, wf.Err)
 		}
 		note := ""
 		if sol.Stats.Interrupted {
@@ -234,6 +257,10 @@ func main() {
 		if *showStats {
 			fmt.Printf("             state nodes %d, gate trials %d, leaves %d (cache hits %d), pruned %d\n",
 				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.LeafCacheHits, sol.Stats.Pruned)
+			if sol.Stats.CheckpointWrites > 0 || sol.Stats.CheckpointErrors > 0 {
+				fmt.Printf("             checkpoint writes %d (errors %d)\n",
+					sol.Stats.CheckpointWrites, sol.Stats.CheckpointErrors)
+			}
 		}
 		if *showVec {
 			fmt.Print("             sleep vector: ")
@@ -262,6 +289,14 @@ func main() {
 			Penalty:   pen,
 			TimeLimit: limit,
 			Workers:   *workers,
+			MaxLeaves: *maxLeaves,
+		}
+		if *ckPath != "" && (alg == core.AlgHeuristic2 || alg == core.AlgExact) {
+			o.Checkpoint = core.CheckpointOptions{
+				Path:     *ckPath,
+				Interval: *ckEvery,
+				Resume:   *ckResume,
+			}
 		}
 		if *progress > 0 {
 			o.ProgressInterval = *progress

@@ -1,12 +1,18 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"os"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"svto/internal/checkpoint"
 	"svto/internal/library"
 	"svto/internal/sim"
 	"svto/internal/sta"
@@ -42,6 +48,26 @@ type sharedSearch struct {
 	leaves        atomic.Int64
 	pruned        atomic.Int64
 	leafCacheHits atomic.Int64
+
+	// faultLeaves is the shared leaf-attempt counter the Ablation fault
+	// hooks key off; it only advances when a hook is armed, so production
+	// searches pay nothing for it.
+	faultLeaves atomic.Int64
+
+	// failMu guards the worker-death record: failures feeds
+	// SearchStats.WorkerFailures (and snapshots), deadErrs the joined
+	// all-workers-died error.
+	failMu   sync.Mutex
+	failures []WorkerFailure
+	deadErrs []error
+
+	// Checkpointing state (zero when Options.Checkpoint is unset).
+	ck           CheckpointOptions
+	fprint       uint64
+	start        time.Time
+	priorElapsed time.Duration
+	ckWrites     atomic.Int64
+	ckErrors     atomic.Int64
 
 	// cache memoizes leaf evaluations by gate-state vector (nil when the
 	// NoLeafCache ablation disables it).
@@ -170,12 +196,13 @@ func (sh *sharedSearch) markInterrupted() {
 	sh.stop.Store(true)
 }
 
-// takeLeafTicket enforces the MaxLeaves work budget across workers.
+// takeLeafTicket enforces the MaxLeaves work budget across workers.  The
+// counter always advances (one atomic add per leaf) so checkpoints can
+// record how much of the budget a crashed run had consumed even when no
+// budget is set.
 func (sh *sharedSearch) takeLeafTicket() bool {
-	if sh.maxLeaves <= 0 {
-		return true
-	}
-	if sh.leafTickets.Add(1) > sh.maxLeaves {
+	n := sh.leafTickets.Add(1)
+	if sh.maxLeaves > 0 && n > sh.maxLeaves {
 		sh.markInterrupted()
 		return false
 	}
@@ -191,7 +218,7 @@ func (sh *sharedSearch) snapshot(start time.Time) Progress {
 		Pruned:        sh.pruned.Load(),
 		LeafCacheHits: sh.leafCacheHits.Load(),
 		BestLeak:      sh.incumbentLeak(),
-		Elapsed:       time.Since(start),
+		Elapsed:       sh.priorElapsed + time.Since(start),
 	}
 }
 
@@ -201,16 +228,61 @@ func (sh *sharedSearch) finish(start time.Time) *Solution {
 	best := sh.best
 	sh.mu.Unlock()
 	best.Stats = SearchStats{
-		StateNodes:    sh.stateNodes.Load(),
-		GateTrials:    sh.gateTrials.Load(),
-		Leaves:        sh.leaves.Load(),
-		Pruned:        sh.pruned.Load(),
-		LeafCacheHits: sh.leafCacheHits.Load(),
-		Runtime:       time.Since(start),
-		Interrupted:   sh.interrupted.Load(),
+		StateNodes:       sh.stateNodes.Load(),
+		GateTrials:       sh.gateTrials.Load(),
+		Leaves:           sh.leaves.Load(),
+		Pruned:           sh.pruned.Load(),
+		LeafCacheHits:    sh.leafCacheHits.Load(),
+		Runtime:          sh.priorElapsed + time.Since(start),
+		Interrupted:      sh.interrupted.Load(),
+		WorkerFailures:   sh.failuresCopy(),
+		CheckpointWrites: sh.ckWrites.Load(),
+		CheckpointErrors: sh.ckErrors.Load(),
 	}
 	return best
 }
+
+// recordFailure logs one worker death for SearchStats, snapshots, and the
+// potential all-workers-died error.
+func (sh *sharedSearch) recordFailure(workerID int, err error) {
+	wf := WorkerFailure{Worker: workerID, Err: err.Error()}
+	var pe *panicError
+	if errors.As(err, &pe) {
+		wf.Stack = string(pe.stack)
+	}
+	sh.failMu.Lock()
+	sh.failures = append(sh.failures, wf)
+	sh.deadErrs = append(sh.deadErrs, err)
+	sh.failMu.Unlock()
+}
+
+func (sh *sharedSearch) failuresCopy() []WorkerFailure {
+	sh.failMu.Lock()
+	defer sh.failMu.Unlock()
+	if len(sh.failures) == 0 {
+		return nil
+	}
+	return append([]WorkerFailure(nil), sh.failures...)
+}
+
+// allDeadError wraps every recorded death into the sentinel callers match
+// on when a search lost all its workers.
+func (sh *sharedSearch) allDeadError(workers int) error {
+	sh.failMu.Lock()
+	n := len(sh.deadErrs)
+	joined := errors.Join(sh.deadErrs...)
+	sh.failMu.Unlock()
+	return fmt.Errorf("%w (%d of %d): %w", ErrWorkerPanic, n, workers, joined)
+}
+
+// panicError carries a recovered panic value plus the stack at the recovery
+// point, so WorkerFailure entries can record where a worker died.
+type panicError struct {
+	val   any
+	stack []byte
+}
+
+func (e *panicError) Error() string { return fmt.Sprintf("worker panic: %v", e.val) }
 
 // sharedBaseline lazily computes the all-fast timing state once; workers
 // clone it (O(nets) copy) instead of each paying a full analysis.
@@ -296,13 +368,6 @@ func (w *worker) flush() {
 	w.flushed = w.stats
 }
 
-// searchFromRoot runs the whole state tree on this worker (Workers == 1).
-func (w *worker) searchFromRoot() error {
-	err := w.dfs(0)
-	w.flush()
-	return err
-}
-
 // dfs is the bound-guided state-tree descent: at each level the two branch
 // bounds are computed by the incremental engine (an Assign/Undo pair per
 // branch, touching only the input's fanout cone), the tighter branch
@@ -364,6 +429,22 @@ func (w *worker) dfs(depth int) error {
 // after warm-up (incumbent installs and first-visit cache inserts are the
 // only allocation sites, and both are amortized over the search).
 func (w *worker) leaf() error {
+	if ab := &w.sh.p.Ablate; ab.FailLeafEvery > 0 || ab.PanicWorkerAfter > 0 || ab.CancelAfterLeaves > 0 {
+		// Deterministic fault injection: the hooks key off one shared
+		// attempt counter, so fault points are reproducible across worker
+		// counts and runs.
+		n := w.sh.faultLeaves.Add(1)
+		if ab.PanicWorkerAfter > 0 && n == ab.PanicWorkerAfter {
+			panic(fmt.Sprintf("injected worker panic at leaf attempt %d", n))
+		}
+		if ab.FailLeafEvery > 0 && n%ab.FailLeafEvery == 0 {
+			return fmt.Errorf("%w at leaf attempt %d", ErrInjectedFault, n)
+		}
+		if ab.CancelAfterLeaves > 0 && n > ab.CancelAfterLeaves {
+			w.sh.markInterrupted()
+			return nil
+		}
+	}
 	if !w.sh.takeLeafTicket() {
 		return nil
 	}
@@ -509,41 +590,181 @@ func (w *worker) gateDFS(state []bool, pos int, leakSoFar float64) error {
 	return nil
 }
 
-// runParallel splits the state tree at splitDepth into independent subtree
-// tasks and drains them with a pool of workers.  The task queue is the
-// load-balancing mechanism: a worker that lands on heavily-pruned subtrees
-// immediately picks up the next task while others are still descending.
-func (sh *sharedSearch) runParallel(opt Options) error {
-	depth := opt.SplitDepth
-	if depth <= 0 {
-		depth = autoSplitDepth(opt.Workers, len(sh.p.piOrder))
-	}
-	if depth > len(sh.p.piOrder) {
-		depth = len(sh.p.piOrder)
-	}
-	sh.splitDepth = depth
+// taskPool is the work-distribution structure of the pool engine: a FIFO of
+// pending subtree tasks plus the set of tasks currently held by workers.
+// Unlike the channel feeder it replaces, the pool always knows the exact
+// unexplored frontier — pending plus in-flight — which is what checkpoints
+// persist and what a dead worker's task returns to.
+type taskPool struct {
+	mu      sync.Mutex
+	pending [][]sim.Value
+	next    int
+	active  map[int][]sim.Value
+}
 
-	tasks, err := sh.frontier(depth)
+func newTaskPool(tasks [][]sim.Value) *taskPool {
+	return &taskPool{pending: tasks, active: make(map[int][]sim.Value)}
+}
+
+// take hands worker id the next pending task.
+func (tp *taskPool) take(id int) ([]sim.Value, bool) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	if tp.next >= len(tp.pending) {
+		return nil, false
+	}
+	t := tp.pending[tp.next]
+	tp.next++
+	tp.active[id] = t
+	return t, true
+}
+
+// done marks worker id's task fully explored.
+func (tp *taskPool) done(id int) {
+	tp.mu.Lock()
+	delete(tp.active, id)
+	tp.mu.Unlock()
+}
+
+// requeue returns worker id's in-flight task to the front of the queue —
+// used when a worker dies (survivors redistribute its subtree) or when the
+// search stops mid-task (the task stays in the checkpointed frontier).
+// Re-running a partially-explored task is safe: the incumbent only ever
+// tightens, so re-visited leaves re-derive or improve it, never regress it.
+func (tp *taskPool) requeue(id int) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	t, ok := tp.active[id]
+	if !ok {
+		return
+	}
+	delete(tp.active, id)
+	tp.pending = append(tp.pending, nil)
+	copy(tp.pending[tp.next+1:], tp.pending[tp.next:])
+	tp.pending[tp.next] = t
+}
+
+// remaining returns the unexplored frontier: in-flight tasks first (in
+// worker order, for determinism), then the untaken tail of the queue.
+func (tp *taskPool) remaining() [][]sim.Value {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	ids := make([]int, 0, len(tp.active))
+	for id := range tp.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([][]sim.Value, 0, len(ids)+len(tp.pending)-tp.next)
+	for _, id := range ids {
+		out = append(out, tp.active[id])
+	}
+	out = append(out, tp.pending[tp.next:]...)
+	return out
+}
+
+// runTask explores one subtree task (already copied into w.pi) under panic
+// isolation: a panic anywhere in the descent surfaces as a *panicError
+// instead of tearing down the process.
+func (sh *sharedSearch) runTask(w *worker) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &panicError{val: r, stack: debug.Stack()}
+		}
+	}()
+	n := w.enterPrefix()
+	if err := w.dfs(sh.splitDepth); err != nil {
+		return err
+	}
+	w.leavePrefix(n)
+	return nil
+}
+
+// runSequential runs the whole tree on one worker (Workers == 1 without
+// checkpointing), preserving the bit-for-bit deterministic visit order of
+// the plain DFS.  A worker death here is by definition all workers dying,
+// so it degrades the same way the pool does: incumbent + ErrWorkerPanic.
+func (sh *sharedSearch) runSequential() error {
+	w, err := sh.newWorker()
 	if err != nil {
 		return err
 	}
-	if opt.Seed != 0 {
-		rng := rand.New(rand.NewSource(opt.Seed))
-		rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+	err = sh.runTask(w)
+	w.flush()
+	if err != nil {
+		sh.recordFailure(0, err)
+		sh.markInterrupted()
+		return sh.allDeadError(1)
+	}
+	return nil
+}
+
+// runPool is the pool engine: the state tree is split into independent
+// subtree tasks (from the frontier expansion, or from a resume snapshot's
+// saved frontier), and a pool of isolated workers drains them.  The pool is
+// the load-balancing mechanism — a worker that lands on heavily-pruned
+// subtrees immediately picks up the next task — and the failure-isolation
+// boundary: a panicking or erroring worker records a WorkerFailure, returns
+// its task to the pool and dies, while survivors keep draining.  Only when
+// every worker has died does the search fail, and even then the caller
+// still gets the incumbent alongside the error.
+func (sh *sharedSearch) runPool(opt Options, rs *resumeState) error {
+	var tasks [][]sim.Value
+	if rs != nil {
+		tasks = rs.tasks
+	} else {
+		depth := opt.SplitDepth
+		if depth <= 0 {
+			depth = autoSplitDepth(opt.Workers, len(sh.p.piOrder))
+			if sh.ck.Path != "" && depth < ckSplitDepth {
+				// Finer tasks bound the re-run loss when a crashed run's
+				// in-flight tasks are re-explored on resume.
+				depth = ckSplitDepth
+			}
+		}
+		if depth > len(sh.p.piOrder) {
+			depth = len(sh.p.piOrder)
+		}
+		sh.splitDepth = depth
+		var err error
+		tasks, err = sh.frontier(depth)
+		if err != nil {
+			return err
+		}
+		if opt.Seed != 0 {
+			rng := rand.New(rand.NewSource(opt.Seed))
+			rng.Shuffle(len(tasks), func(i, j int) { tasks[i], tasks[j] = tasks[j], tasks[i] })
+		}
+	}
+	tp := newTaskPool(tasks)
+
+	// The checkpoint ticker runs for the duration of the drain; the final
+	// write (or removal) below happens only after it has stopped, so two
+	// writers never race on the snapshot file.
+	var ckDone, ckStop chan struct{}
+	if sh.ck.Path != "" {
+		ckDone, ckStop = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(ckDone)
+			t := time.NewTicker(sh.ck.Interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					sh.writeCheckpoint(tp)
+				case <-ckStop:
+					return
+				}
+			}
+		}()
+	}
+	stopTicker := func() {
+		if ckStop != nil {
+			close(ckStop)
+			<-ckDone
+			ckStop = nil
+		}
 	}
 
-	queue := make(chan []sim.Value)
-	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-	)
-	fail := func(err error) {
-		errOnce.Do(func() {
-			firstErr = err
-			sh.stop.Store(true)
-		})
-	}
 	// Never spawn more workers than tasks: when the frontier pruned every
 	// subtree there is nothing to do, and each idle worker would still pay
 	// for a baseline clone and a bound engine.
@@ -551,39 +772,74 @@ func (sh *sharedSearch) runParallel(opt Options) error {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
-	for i := 0; i < workers; i++ {
+	ws := make([]*worker, workers)
+	for i := range ws {
 		w, err := sh.newWorker()
 		if err != nil {
-			fail(err)
-			break
+			// Infrastructure failure (baseline STA / bound engine), not a
+			// search fault: abort before any worker runs.
+			stopTicker()
+			return err
 		}
+		ws[i] = w
+	}
+	var (
+		wg   sync.WaitGroup
+		dead atomic.Int32
+	)
+	for i, w := range ws {
 		wg.Add(1)
-		go func() {
+		go func(id int, w *worker) {
 			defer wg.Done()
-			for task := range queue {
-				copy(w.pi, task)
-				depth := w.enterPrefix()
-				if err := w.dfs(sh.splitDepth); err != nil {
-					fail(err)
-					break
+			defer w.flush()
+			for {
+				if sh.stop.Load() {
+					return
 				}
-				w.leavePrefix(depth)
+				task, ok := tp.take(id)
+				if !ok {
+					return
+				}
+				copy(w.pi, task)
+				if err := sh.runTask(w); err != nil {
+					sh.recordFailure(id, err)
+					tp.requeue(id)
+					dead.Add(1)
+					return
+				}
+				if sh.stop.Load() {
+					// Stopped mid-task: the subtree may be partially
+					// explored, so it stays in the resumable frontier.
+					tp.requeue(id)
+					return
+				}
+				tp.done(id)
 			}
-			// Drain so the feeder never blocks after a worker fails.
-			for range queue {
-			}
-			w.flush()
-		}()
+		}(i, w)
 	}
-	for _, task := range tasks {
-		if sh.stop.Load() {
-			break
-		}
-		queue <- task
-	}
-	close(queue)
 	wg.Wait()
-	return firstErr
+
+	var err error
+	if workers > 0 && int(dead.Load()) == workers {
+		sh.markInterrupted()
+		err = sh.allDeadError(workers)
+	}
+	stopTicker()
+	if sh.ck.Path != "" {
+		if sh.interrupted.Load() {
+			// Interrupted (cancellation, budget, or total worker loss):
+			// persist the final frontier so a resume continues from here.
+			sh.writeCheckpoint(tp)
+		} else {
+			// Ran to completion: the snapshot would only invite a bogus
+			// resume, so remove it.  Failure to remove is as non-fatal as
+			// any other checkpoint I/O error.
+			if rerr := checkpoint.Remove(sh.ck.fs(), sh.ck.Path); rerr != nil && !errors.Is(rerr, os.ErrNotExist) {
+				sh.ckErrors.Add(1)
+			}
+		}
+	}
+	return err
 }
 
 // autoSplitDepth picks the shallowest depth giving a comfortable task

@@ -49,6 +49,25 @@ type Ablation struct {
 	// reached leaf re-runs its gate-tree descent even when an identical
 	// vector was already evaluated.
 	NoLeafCache bool
+
+	// The remaining fields are deterministic fault-injection hooks for the
+	// crash-safety tests.  They key off a shared leaf-attempt counter that
+	// every tree-search worker increments before evaluating a leaf, so a
+	// given hook value produces the same fault point regardless of worker
+	// count.  All are inert at zero.
+
+	// FailLeafEvery makes every n-th leaf attempt return ErrInjectedFault
+	// instead of evaluating, exercising the worker-death path without a
+	// panic.
+	FailLeafEvery int64
+	// PanicWorkerAfter panics the worker that performs the n-th leaf
+	// attempt (one worker dies; survivors continue), exercising the
+	// recover/requeue/degrade path.
+	PanicWorkerAfter int64
+	// CancelAfterLeaves stops the search after n leaf attempts as if the
+	// context had been cancelled, giving tests a deterministic interruption
+	// point (wall-clock cancellation lands at a different leaf every run).
+	CancelAfterLeaves int64
 }
 
 // Problem binds a mapped circuit to a library and timing environment.
@@ -98,7 +117,9 @@ func NewProblem(circ *netlist.Circuit, lib *library.Library, cfg sta.Config, obj
 		return nil, err
 	}
 	p := &Problem{CC: cc, Lib: lib, Timer: timer, Obj: obj, Dmin: dmin, Dmax: dmax}
-	p.precompute()
+	if err := p.precompute(); err != nil {
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -122,7 +143,7 @@ func (p *Problem) objValue(sol *Solution) float64 {
 	return sol.Leak
 }
 
-func (p *Problem) precompute() {
+func (p *Problem) precompute() error {
 	cc := p.CC
 	p.minChoice = make([][]float64, len(cc.Gates))
 	p.minAny = make([]float64, len(cc.Gates))
@@ -161,7 +182,10 @@ func (p *Problem) precompute() {
 				return p.objOf(&choices[idx[a]]) < p.objOf(&choices[idx[b]])
 			})
 			p.rankTab[gi][s] = idx
-			fast := cell.FastChoice(uint(s))
+			fast, err := cell.MinDelayChoice(uint(s))
+			if err != nil {
+				return fmt.Errorf("core: gate %s: %w", cc.NetName[cc.Gates[gi].Out], err)
+			}
 			p.fastTab[gi][s] = fast
 			p.gainTab[gi][s] = p.objOf(fast) - p.minChoice[gi][s]
 		}
@@ -199,6 +223,7 @@ func (p *Problem) precompute() {
 		p.piOrder[i] = i
 	}
 	sort.SliceStable(p.piOrder, func(a, b int) bool { return reach[p.piOrder[a]] > reach[p.piOrder[b]] })
+	return nil
 }
 
 // Budget converts a delay-penalty fraction into an absolute delay bound.
@@ -221,6 +246,29 @@ type SearchStats struct {
 	// cancellation, an expired time limit or an exhausted leaf budget —
 	// so the solution is the best found rather than the search's fixpoint.
 	Interrupted bool
+	// WorkerFailures records every worker that died (panic or leaf
+	// evaluation error) during the search, including failures carried over
+	// from resumed runs.  A non-empty list with a nil Solve error means the
+	// search degraded gracefully: surviving workers re-ran the dead
+	// workers' subtrees.
+	WorkerFailures []WorkerFailure
+	// CheckpointWrites and CheckpointErrors count snapshot write attempts;
+	// write failures are non-fatal (the search keeps running and retries at
+	// the next interval), so errors surface here instead of aborting.
+	CheckpointWrites int64
+	CheckpointErrors int64
+}
+
+// WorkerFailure describes one worker death during a tree search.
+type WorkerFailure struct {
+	// Worker is the index of the failed worker within its run.
+	Worker int
+	// Err is the failure message (the recovered panic value or the leaf
+	// evaluation error).
+	Err string
+	// Stack is the goroutine stack at the recovery point; empty for
+	// non-panic failures.
+	Stack string
 }
 
 // Solution is a complete standby assignment.

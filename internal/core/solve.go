@@ -2,10 +2,13 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"svto/internal/checkpoint"
 )
 
 // Search tolerances, shared by every algorithm.  The seed implementation
@@ -111,6 +114,9 @@ type Options struct {
 	Progress func(Progress)
 	// ProgressInterval is the snapshot period (default 100ms).
 	ProgressInterval time.Duration
+	// Checkpoint enables crash-safe snapshotting and resume for the tree
+	// searches; see CheckpointOptions.
+	Checkpoint CheckpointOptions
 }
 
 // Solve is the unified entry point of the optimizer: it runs the selected
@@ -124,8 +130,16 @@ type Options struct {
 // leakage matches the sequential result within LeakEps on exhaustive
 // searches (the explored set, not the optimum, depends on scheduling only
 // when a time or leaf budget truncates the search).
+// Solve can return both a non-nil Solution and a non-nil error: when every
+// worker of a tree search dies (see ErrWorkerPanic), the incumbent found up
+// to that point is still handed back alongside the joined failure.  Callers
+// that only check the error keep their existing behavior; callers that want
+// the partial result can take it.
 func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 	start := time.Now()
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -133,9 +147,25 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 		return nil, fmt.Errorf("core: exact search limited to %d inputs, circuit has %d",
 			MaxExactInputs, len(p.CC.PI))
 	}
+	// Load any resume snapshot before arming the time limit: the remaining
+	// budget must account for the wall clock the crashed run already spent.
+	var snap *checkpoint.Snapshot
+	if opt.Checkpoint.Resume {
+		var err error
+		snap, err = p.loadResume(opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var prior time.Duration
+	if snap != nil {
+		prior = snap.Elapsed
+	}
 	if opt.TimeLimit > 0 {
+		// A non-positive remainder yields an already-expired context, so a
+		// resume whose budget is spent returns the incumbent immediately.
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit)
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeLimit-prior)
 		defer cancel()
 	}
 
@@ -149,12 +179,19 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 	case AlgStateOnly:
 		sol, err = p.stateOnly()
 	case AlgHeuristic2, AlgExact:
-		sol, err = p.treeSearch(ctx, opt, start)
+		sol, err = p.treeSearch(ctx, opt, start, snap)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", opt.Algorithm)
 	}
 	if err != nil {
-		return nil, err
+		if sol == nil {
+			return nil, err
+		}
+		// Degraded completion (all workers died): skip refinement, stamp
+		// what we have, and hand the incumbent back with the error.
+		sol.Stats.Runtime = prior + time.Since(start)
+		emitFinalProgress(opt, sol)
+		return sol, err
 	}
 	if opt.RefinePasses > 0 {
 		sol, err = p.Refine(sol, opt.Penalty, opt.RefinePasses)
@@ -165,43 +202,86 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 	// Stats are assigned exactly once, here: the seed implementation's
 	// mid-search snapshots could leave Solution.Stats disagreeing with the
 	// final counters.
-	sol.Stats.Runtime = time.Since(start)
-	if opt.Progress != nil {
-		// The documented "one final snapshot on return" fires here, after
-		// refinement, for every algorithm — tree searches only report
-		// periodic snapshots themselves, so BestLeak can never disagree
-		// with the returned solution (the seed implementation emitted the
-		// tree-search final snapshot before RefinePasses ran, and skipped
-		// it entirely on an already-cancelled context).
-		opt.Progress(Progress{
-			StateNodes:    sol.Stats.StateNodes,
-			GateTrials:    sol.Stats.GateTrials,
-			Leaves:        sol.Stats.Leaves,
-			Pruned:        sol.Stats.Pruned,
-			LeafCacheHits: sol.Stats.LeafCacheHits,
-			BestLeak:      sol.Leak,
-			Elapsed:       sol.Stats.Runtime,
-		})
-	}
+	sol.Stats.Runtime = prior + time.Since(start)
+	emitFinalProgress(opt, sol)
 	return sol, nil
 }
 
+// emitFinalProgress delivers the documented "one final snapshot on return":
+// it fires after refinement, for every algorithm — tree searches only
+// report periodic snapshots themselves, so BestLeak can never disagree with
+// the returned solution (the seed implementation emitted the tree-search
+// final snapshot before RefinePasses ran, and skipped it entirely on an
+// already-cancelled context).
+func emitFinalProgress(opt Options, sol *Solution) {
+	if opt.Progress == nil {
+		return
+	}
+	opt.Progress(Progress{
+		StateNodes:    sol.Stats.StateNodes,
+		GateTrials:    sol.Stats.GateTrials,
+		Leaves:        sol.Stats.Leaves,
+		Pruned:        sol.Stats.Pruned,
+		LeafCacheHits: sol.Stats.LeafCacheHits,
+		BestLeak:      sol.Leak,
+		Elapsed:       sol.Stats.Runtime,
+	})
+}
+
 // treeSearch runs the bounded state-tree search (Heuristic 2 or Exact):
-// Heuristic 1 seeds the shared incumbent, then the tree is explored
-// sequentially (Workers == 1) or by a pool of workers over subtree tasks.
-func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) (*Solution, error) {
+// Heuristic 1 seeds the shared incumbent (or, on resume, the snapshot's
+// incumbent re-seeds it), then the tree is explored sequentially
+// (Workers == 1 without checkpointing) or by a pool of isolated workers
+// over subtree tasks.
+func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, snap *checkpoint.Snapshot) (*Solution, error) {
 	budget := p.Budget(opt.Penalty)
-	seed, err := p.heuristic1(budget)
-	if err != nil {
-		return nil, err
+	var (
+		seed *Solution
+		rs   *resumeState
+		err  error
+	)
+	if snap != nil {
+		rs, err = p.restoreSnapshot(snap)
+		if err != nil {
+			return nil, err
+		}
+		seed = rs.seed
+	} else {
+		seed, err = p.heuristic1(budget)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sh := newSharedSearch(p, opt, budget, seed)
-	if sh.cache != nil && opt.Algorithm == AlgHeuristic2 {
+	sh.start = start
+	if opt.Checkpoint.Path != "" {
+		sh.ck = opt.Checkpoint
+		sh.fprint = p.fingerprint(opt)
+	}
+	if rs != nil {
+		// Continue, don't reset: counters, budgets and recorded failures
+		// all carry over from the crashed run.
+		sh.priorElapsed = rs.elapsed
+		sh.leafTickets.Store(rs.leavesUsed)
+		sh.stateNodes.Store(rs.stats.StateNodes)
+		sh.gateTrials.Store(rs.stats.GateTrials)
+		sh.leaves.Store(rs.stats.Leaves)
+		sh.pruned.Store(rs.stats.Pruned)
+		sh.leafCacheHits.Store(rs.stats.LeafCacheHits)
+		sh.failures = rs.failures
+		sh.splitDepth = rs.splitDepth
+		if sh.maxLeaves > 0 && rs.leavesUsed >= sh.maxLeaves {
+			// The leaf budget was exhausted before the crash.
+			sh.markInterrupted()
+		}
+	}
+	if sh.cache != nil && opt.Algorithm == AlgHeuristic2 && rs == nil {
 		// The DFS re-reaches the seed's input state; memoize its greedy
 		// result so that leaf is answered from the cache.  (Not for
 		// AlgExact: its leaves run the exact descent, which a greedy
-		// result must never answer.)
+		// result must never answer.  Not on resume: the restored incumbent
+		// need not equal the greedy result at its own state.)
 		states, err := p.gateStates(seed.State)
 		if err != nil {
 			return nil, err
@@ -210,7 +290,8 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) 
 	}
 	if ctx.Err() != nil {
 		// Already canceled: the incumbent is the answer (the legacy
-		// Heuristic2 behaved this way for a zero time budget).
+		// Heuristic2 behaved this way for a zero time budget).  Any
+		// existing snapshot file is left in place, still resumable.
 		sh.markInterrupted()
 		return sh.finish(start), nil
 	}
@@ -251,15 +332,14 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) 
 		}()
 	}
 
+	// Checkpointing and resume always use the pool engine, even for one
+	// worker: the pool is what keeps the unexplored frontier as an explicit,
+	// serializable set of tasks.
 	var searchErr error
-	if opt.Workers == 1 || len(p.piOrder) == 0 {
-		var w *worker
-		w, searchErr = sh.newWorker()
-		if searchErr == nil {
-			searchErr = w.searchFromRoot()
-		}
+	if (opt.Workers == 1 || len(p.piOrder) == 0) && sh.ck.Path == "" && rs == nil {
+		searchErr = sh.runSequential()
 	} else {
-		searchErr = sh.runParallel(opt)
+		searchErr = sh.runPool(opt, rs)
 	}
 
 	stopWatcher()
@@ -269,6 +349,11 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time) 
 		<-progressDone
 	}
 	if searchErr != nil {
+		if errors.Is(searchErr, ErrWorkerPanic) {
+			// Every worker died, but the incumbent is still a valid (often
+			// useful) solution: degrade instead of discarding it.
+			return sh.finish(start), searchErr
+		}
 		return nil, searchErr
 	}
 	return sh.finish(start), nil

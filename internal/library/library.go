@@ -186,16 +186,38 @@ type Cell struct {
 // Fast returns the all-fast version.
 func (c *Cell) Fast() *Version { return c.Versions[0] }
 
-// FastChoice returns the min-delay choice for the given instance state.
-func (c *Cell) FastChoice(state uint) *Choice {
+// MinDelayChoice returns the min-delay choice for the given instance state,
+// or a diagnostic error when the cell is malformed (state out of range, or
+// no KindMinDelay entry in its choice list).  Problem construction calls
+// this for every resolved cell and state, so a broken state/version library
+// fails with an error instead of crashing the search.
+func (c *Cell) MinDelayChoice(state uint) (*Choice, error) {
+	if int(state) >= len(c.Choices) {
+		return nil, fmt.Errorf("library: cell %s: state %d out of range (%d states)",
+			c.Template.Name, state, len(c.Choices))
+	}
 	for i := range c.Choices[state] {
 		if c.Choices[state][i].Kind == KindMinDelay {
-			return &c.Choices[state][i]
+			return &c.Choices[state][i], nil
 		}
 	}
-	// The min-delay choice always exists; this is unreachable on a
-	// well-formed cell.
-	panic(fmt.Sprintf("cell %s: no min-delay choice for state %d", c.Template.Name, state))
+	return nil, fmt.Errorf("library: cell %s: no min-delay choice for state %d",
+		c.Template.Name, state)
+}
+
+// FastChoice returns the min-delay choice for the given instance state.  It
+// assumes a well-formed cell: Timer construction validates every resolved
+// cell through MinDelayChoice, so library-backed search paths can never hit
+// the panic below.  Callers that handle untrusted cells should use
+// MinDelayChoice directly.
+func (c *Cell) FastChoice(state uint) *Choice {
+	ch, err := c.MinDelayChoice(state)
+	if err != nil {
+		// invariant: unreachable for cells validated at Timer/Problem
+		// construction; only hand-assembled malformed cells land here.
+		panic(err)
+	}
+	return ch
 }
 
 // MinLeakChoice returns the lowest-leakage choice for the given state.

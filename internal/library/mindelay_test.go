@@ -1,0 +1,48 @@
+package library
+
+import (
+	"strings"
+	"testing"
+
+	"svto/internal/cell"
+)
+
+// A malformed cell (no min-delay entry, or an out-of-range state) must
+// surface as an error from MinDelayChoice — this is the diagnostic Problem
+// construction reports instead of the historical panic.
+func TestMinDelayChoiceMalformedCell(t *testing.T) {
+	broken := &Cell{
+		Template: &cell.Template{Name: "BROKEN"},
+		Choices: [][]Choice{
+			{{Kind: KindMinLeak}}, // state 0 has choices, none min-delay
+		},
+	}
+	if _, err := broken.MinDelayChoice(0); err == nil {
+		t.Fatal("missing min-delay choice not reported")
+	} else if !strings.Contains(err.Error(), "no min-delay choice") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if _, err := broken.MinDelayChoice(3); err == nil {
+		t.Fatal("out-of-range state not reported")
+	} else if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// Every cell of the real generated library must resolve a min-delay choice
+// in every state without error.
+func TestMinDelayChoiceWellFormedLibrary(t *testing.T) {
+	l := lib4(t)
+	for _, name := range l.Names {
+		c := l.Cell(name)
+		for s := range c.Choices {
+			ch, err := c.MinDelayChoice(uint(s))
+			if err != nil {
+				t.Fatalf("%s state %d: %v", name, s, err)
+			}
+			if ch.Kind != KindMinDelay {
+				t.Fatalf("%s state %d: wrong kind %v", name, s, ch.Kind)
+			}
+		}
+	}
+}

@@ -116,6 +116,9 @@ func (o Op) Eval(in []bool) bool {
 	case OpOai22:
 		return !((in[0] || in[1]) && (in[2] || in[3]))
 	default:
+		// invariant: unreachable — every Op value is produced by ParseOp or
+		// the techmap rewrites, both of which only emit the cases above; an
+		// unknown op here means memory corruption, not bad input.
 		panic(fmt.Sprintf("netlist: eval of unknown op %d", uint8(o)))
 	}
 }

@@ -34,6 +34,9 @@ type Runner struct {
 	// Workers is the parallel search width passed to core.Solve; 0 or 1
 	// keeps the runs sequential and deterministic.
 	Workers int
+	// MaxLeaves bounds each tree search's complete-state evaluations
+	// (0 = unlimited); useful for fixed-effort experiment sweeps.
+	MaxLeaves int64
 
 	circuits map[string]*netlist.Circuit
 	problems map[problemKey]*core.Problem
@@ -104,19 +107,26 @@ func (r *Runner) Problem(name string, opt library.Options, obj core.Objective) (
 
 // Solve runs one search through the redesigned entry point under the
 // runner's environment (worker count, seed); limit only matters for the
-// tree-searching algorithms.
+// tree-searching algorithms.  A degraded search (worker failures with a
+// usable incumbent) is accepted: tables report the best solution found.
 func (r *Runner) Solve(p *core.Problem, alg core.Algorithm, penalty float64, limit time.Duration) (*core.Solution, error) {
 	workers := r.Workers
 	if workers == 0 {
 		workers = 1
 	}
-	return p.Solve(context.Background(), core.Options{
+	sol, err := p.Solve(context.Background(), core.Options{
 		Algorithm: alg,
 		Penalty:   penalty,
 		TimeLimit: limit,
 		Workers:   workers,
 		Seed:      r.Seed,
+		MaxLeaves: r.MaxLeaves,
 	})
+	if err != nil && sol != nil {
+		fmt.Fprintf(os.Stderr, "report: warning: %s degraded: %v\n", p.CC.Circuit.Name, err)
+		return sol, nil
+	}
+	return sol, err
 }
 
 // AllNames returns the benchmark names in paper order.

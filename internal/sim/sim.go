@@ -176,6 +176,8 @@ func Eval3Op(op netlist.Op, in []Value) Value {
 	case netlist.OpOai22:
 		return not3(and3(or3(in[0], in[1]), or3(in[2], in[3])))
 	default:
+		// invariant: unreachable — the op set is closed (ParseOp/techmap emit
+		// only the cases above), so this cannot be triggered by circuit input.
 		panic(fmt.Sprintf("sim: eval3 of unknown op %d", uint8(op)))
 	}
 }

@@ -1,0 +1,69 @@
+package sta
+
+import (
+	"fmt"
+
+	"svto/internal/library"
+)
+
+// Choice pointers are process-local: a checkpoint written by one run must
+// re-resolve them in the next process.  The stable identity of a choice is
+// its (instance state, index) coordinate in the resolved cell's per-state
+// choice list — the library builder emits those lists deterministically, so
+// the same circuit + library options yield the same coordinates in every
+// process.  ChoiceCoords and ChoicesAt convert between the two forms.
+
+// ChoiceCoords maps each gate's choice pointer to its (state, index)
+// coordinate in Cells[g].Choices.  It fails if a choice is not one of the
+// cell's library-built options (e.g. a hand-assembled literal), because such
+// a choice has no serializable identity.
+func (t *Timer) ChoiceCoords(choices []*library.Choice) ([][2]int32, error) {
+	if len(choices) != len(t.Cells) {
+		return nil, fmt.Errorf("sta: %d choices for %d gates", len(choices), len(t.Cells))
+	}
+	out := make([][2]int32, len(choices))
+	for gi, ch := range choices {
+		cell := t.Cells[gi]
+		found := false
+		for s := range cell.Choices {
+			list := cell.Choices[s]
+			for ci := range list {
+				if &list[ci] == ch {
+					out[gi] = [2]int32{int32(s), int32(ci)}
+					found = true
+					break
+				}
+			}
+			if found {
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("sta: gate %d (%s): choice is not a library option of cell %s",
+				gi, t.CC.NetName[t.CC.Gates[gi].Out], cell.Template.Name)
+		}
+	}
+	return out, nil
+}
+
+// ChoicesAt resolves (state, index) coordinates back to choice pointers,
+// bounds-checking every coordinate against the resolved cells.
+func (t *Timer) ChoicesAt(coords [][2]int32) ([]*library.Choice, error) {
+	if len(coords) != len(t.Cells) {
+		return nil, fmt.Errorf("sta: %d choice coordinates for %d gates", len(coords), len(t.Cells))
+	}
+	out := make([]*library.Choice, len(coords))
+	for gi, c := range coords {
+		cell := t.Cells[gi]
+		s, ci := int(c[0]), int(c[1])
+		if s < 0 || s >= len(cell.Choices) {
+			return nil, fmt.Errorf("sta: gate %d: state %d out of range (%d states)", gi, s, len(cell.Choices))
+		}
+		if ci < 0 || ci >= len(cell.Choices[s]) {
+			return nil, fmt.Errorf("sta: gate %d: choice index %d out of range (%d choices in state %d)",
+				gi, ci, len(cell.Choices[s]), s)
+		}
+		out[gi] = &cell.Choices[s][ci]
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package sta
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"svto/internal/gen"
+	"svto/internal/library"
+)
+
+// Round-trip every reachable choice of a real mapped circuit through the
+// (state, index) coordinate form: the resolved pointers must come back
+// identical, because checkpoint resume relies on coordinates being a stable
+// cross-process identity.
+func TestChoiceCoordsRoundTrip(t *testing.T) {
+	circ, err := gen.RandomLogic("coords", 3, 8, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := circ.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := New(cc, testLib(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		choices := make([]*library.Choice, len(tm.Cells))
+		for gi, c := range tm.Cells {
+			s := rng.Intn(len(c.Choices))
+			ci := rng.Intn(len(c.Choices[s]))
+			choices[gi] = &c.Choices[s][ci]
+		}
+		coords, err := tm.ChoiceCoords(choices)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := tm.ChoicesAt(coords)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for gi := range choices {
+			if back[gi] != choices[gi] {
+				t.Fatalf("trial %d gate %d: pointer did not round-trip", trial, gi)
+			}
+		}
+	}
+}
+
+func TestChoiceCoordsRejectsForeignChoice(t *testing.T) {
+	cc := chainCircuit(t, 3)
+	tm, err := New(cc, testLib(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices := tm.FastChoices()
+	// A copy of a library choice is a distinct allocation: no stable
+	// identity, must be rejected.
+	clone := *choices[0]
+	choices[0] = &clone
+	if _, err := tm.ChoiceCoords(choices); err == nil {
+		t.Fatal("hand-assembled choice accepted")
+	} else if !strings.Contains(err.Error(), "not a library option") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestChoicesAtRejectsBadCoordinates(t *testing.T) {
+	cc := chainCircuit(t, 3)
+	tm, err := New(cc, testLib(t), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := tm.ChoiceCoords(tm.FastChoices())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([][2]int32) [][2]int32
+	}{
+		{"wrong length", func(c [][2]int32) [][2]int32 { return c[:len(c)-1] }},
+		{"state out of range", func(c [][2]int32) [][2]int32 { c[0][0] = 9999; return c }},
+		{"negative state", func(c [][2]int32) [][2]int32 { c[0][0] = -1; return c }},
+		{"index out of range", func(c [][2]int32) [][2]int32 { c[1][1] = 9999; return c }},
+		{"negative index", func(c [][2]int32) [][2]int32 { c[1][1] = -1; return c }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := tc.mutate(append([][2]int32(nil), good...))
+			if _, err := tm.ChoicesAt(bad); err == nil {
+				t.Fatal("bad coordinates accepted")
+			}
+		})
+	}
+}

@@ -89,6 +89,23 @@ func New(cc *netlist.Compiled, lib *library.Library, cfg Config) (*Timer, error)
 		}
 		t.Cells[i] = cell
 	}
+	// Validate every resolved cell once: each instance state must offer a
+	// min-delay choice.  This is what lets the hot paths use FastChoice
+	// without a reachable panic — a malformed state/version library fails
+	// here, at construction, with a diagnostic.
+	validated := make(map[*library.Cell]bool)
+	for i, c := range t.Cells {
+		if validated[c] {
+			continue
+		}
+		validated[c] = true
+		for s := range c.Choices {
+			if _, err := c.MinDelayChoice(uint(s)); err != nil {
+				return nil, fmt.Errorf("sta: gate %s: %w",
+					cc.NetName[cc.Gates[i].Out], err)
+			}
+		}
+	}
 	t.staticLoad = make([]float64, cc.NumNets())
 	for net := range t.staticLoad {
 		l := cfg.WireCapPerFanout * float64(len(cc.Fanout[net]))
@@ -168,6 +185,8 @@ func (t *Timer) detectSharedAxes() {
 func (t *Timer) FastChoices() []*library.Choice {
 	out := make([]*library.Choice, len(t.CC.Gates))
 	for i, c := range t.Cells {
+		// invariant: New validated every resolved cell, so FastChoice
+		// cannot panic here.
 		out[i] = c.FastChoice(0)
 	}
 	return out

@@ -106,6 +106,15 @@ type Config struct {
 	// Library defaults to Lib4Option.
 	Library Library
 
+	// MaxLeaves bounds the number of complete states the tree searches
+	// evaluate; 0 means unlimited.  The budget spans resumed runs: a
+	// checkpointed search that already spent its leaves stays stopped.
+	MaxLeaves int64
+	// Checkpoint enables crash-safe execution for the tree searches
+	// (Heuristic2, Exact): the search frontier and incumbent are written
+	// to Checkpoint.Path so a killed run can continue where it left off.
+	Checkpoint Checkpoint
+
 	// BaselineVectors, when > 0, estimates the unoptimized average leakage
 	// over that many random vectors (Result.BaselineNA, ReductionX).
 	BaselineVectors int
@@ -114,6 +123,19 @@ type Config struct {
 
 	// Progress, when non-nil, receives periodic search snapshots.
 	Progress func(Progress)
+}
+
+// Checkpoint configures crash-safe search execution.
+type Checkpoint struct {
+	// Path is the snapshot file.  Setting it turns checkpointing on.
+	Path string
+	// Interval is the periodic write cadence; 0 defaults to 30s.  A final
+	// snapshot is also written whenever an enabled search is interrupted.
+	Interval time.Duration
+	// Resume loads Path before searching and continues from it.  A missing
+	// file starts fresh; a snapshot from a different design, library or
+	// objective is rejected.
+	Resume bool
 }
 
 // GateAssignment is one gate's optimized cell-version choice.
@@ -133,6 +155,12 @@ type Stats struct {
 	Pruned      int64
 	Runtime     time.Duration
 	Interrupted bool // search cut short by cancellation or limits
+	// WorkerFailures describes search workers that panicked and were
+	// isolated (one message per dead worker); empty on a clean run.
+	WorkerFailures []string
+	// CheckpointWrites and CheckpointErrors count snapshot write attempts
+	// and failures (zero unless Config.Checkpoint.Path was set).
+	CheckpointWrites, CheckpointErrors int64
 }
 
 // Result is a complete standby assignment for the optimized design.
@@ -171,6 +199,13 @@ func (r *Result) ReductionX() float64 {
 
 // Optimize loads the design, builds (or reuses the cached) standby cell
 // library, and runs the selected search under ctx.
+//
+// Optimize can return both a non-nil Result and a non-nil error: when every
+// search worker died (errors.Is(err, core.ErrWorkerPanic) through the
+// wrapped chain) the Result carries the best solution found before the
+// failure, with the per-worker diagnostics in Result.Stats.WorkerFailures.
+// Callers that only check err will never use a silently degraded result;
+// callers that want the partial answer can keep it.
 func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 	circ, err := loadDesign(cfg)
 	if err != nil {
@@ -210,7 +245,19 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 		TimeLimit:    cfg.TimeLimit,
 		Workers:      cfg.Workers,
 		Seed:         cfg.Seed,
+		MaxLeaves:    cfg.MaxLeaves,
 		RefinePasses: cfg.RefinePasses,
+	}
+	if cfg.Checkpoint.Path != "" || cfg.Checkpoint.Resume {
+		interval := cfg.Checkpoint.Interval
+		if interval == 0 {
+			interval = 30 * time.Second
+		}
+		coreOpts.Checkpoint = core.CheckpointOptions{
+			Path:     cfg.Checkpoint.Path,
+			Interval: interval,
+			Resume:   cfg.Checkpoint.Resume,
+		}
 	}
 	if cfg.Progress != nil {
 		coreOpts.Progress = func(p core.Progress) {
@@ -224,9 +271,9 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 			})
 		}
 	}
-	sol, err := prob.Solve(ctx, coreOpts)
-	if err != nil {
-		return nil, err
+	sol, solveErr := prob.Solve(ctx, coreOpts)
+	if sol == nil {
+		return nil, solveErr
 	}
 
 	res := &Result{
@@ -241,17 +288,23 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 		DminPS:      prob.Dmin,
 		DmaxPS:      prob.Dmax,
 		Stats: Stats{
-			StateNodes:  sol.Stats.StateNodes,
-			GateTrials:  sol.Stats.GateTrials,
-			Leaves:      sol.Stats.Leaves,
-			Pruned:      sol.Stats.Pruned,
-			Runtime:     sol.Stats.Runtime,
-			Interrupted: sol.Stats.Interrupted,
+			StateNodes:       sol.Stats.StateNodes,
+			GateTrials:       sol.Stats.GateTrials,
+			Leaves:           sol.Stats.Leaves,
+			Pruned:           sol.Stats.Pruned,
+			Runtime:          sol.Stats.Runtime,
+			Interrupted:      sol.Stats.Interrupted,
+			CheckpointWrites: sol.Stats.CheckpointWrites,
+			CheckpointErrors: sol.Stats.CheckpointErrors,
 		},
 		circ: circ,
 		lib:  lib,
 		prob: prob,
 		sol:  sol,
+	}
+	for _, wf := range sol.Stats.WorkerFailures {
+		res.Stats.WorkerFailures = append(res.Stats.WorkerFailures,
+			fmt.Sprintf("worker %d: %s", wf.Worker, wf.Err))
 	}
 	for gi := range prob.CC.Gates {
 		ch := sol.Choices[gi]
@@ -274,7 +327,7 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.BaselineNA = avg
 	}
-	return res, nil
+	return res, solveErr
 }
 
 // loadDesign resolves the configured input source into a circuit.

@@ -3,6 +3,8 @@ package svto_test
 import (
 	"context"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -125,11 +127,60 @@ func TestOptimizeValidation(t *testing.T) {
 		{"bad algorithm", svto.Config{Bench: strings.NewReader(tinyBench), Algorithm: "simulated-annealing"}},
 		{"bad library", svto.Config{Bench: strings.NewReader(tinyBench), Library: "8opt"}},
 		{"bad benchmark", svto.Config{Benchmark: "c99999"}},
+		{"negative workers", svto.Config{Bench: strings.NewReader(tinyBench), Workers: -2}},
+		{"negative max leaves", svto.Config{Bench: strings.NewReader(tinyBench), MaxLeaves: -1}},
+		{"resume without path", svto.Config{
+			Bench:      strings.NewReader(tinyBench),
+			Algorithm:  svto.Heuristic2,
+			Checkpoint: svto.Checkpoint{Resume: true},
+		}},
+		{"checkpoint with non-tree algorithm", svto.Config{
+			Bench:      strings.NewReader(tinyBench),
+			Checkpoint: svto.Checkpoint{Path: "x.ckpt"},
+		}},
 	}
 	for _, tc := range cases {
 		if _, err := svto.Optimize(ctx, tc.cfg); err == nil {
 			t.Errorf("%s: expected error", tc.name)
 		}
+	}
+}
+
+func TestOptimizeCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.ckpt")
+	full := optimizeTiny(t, svto.Config{Algorithm: svto.Heuristic2, Penalty: 0.10})
+
+	cut := optimizeTiny(t, svto.Config{
+		Algorithm:  svto.Heuristic2,
+		Penalty:    0.10,
+		Workers:    1,
+		MaxLeaves:  1,
+		Checkpoint: svto.Checkpoint{Path: path},
+	})
+	if !cut.Stats.Interrupted {
+		t.Fatal("leaf budget did not interrupt the run")
+	}
+	if cut.Stats.CheckpointWrites == 0 {
+		t.Error("interrupted run wrote no checkpoint")
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no snapshot on disk: %v", err)
+	}
+
+	res := optimizeTiny(t, svto.Config{
+		Algorithm:  svto.Heuristic2,
+		Penalty:    0.10,
+		Workers:    1,
+		Checkpoint: svto.Checkpoint{Path: path, Resume: true},
+	})
+	if res.Stats.Interrupted {
+		t.Error("resumed run did not finish")
+	}
+	if res.LeakNA != full.LeakNA {
+		t.Errorf("resumed leak %g != uninterrupted %g", res.LeakNA, full.LeakNA)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("completed run left its checkpoint behind (stat: %v)", err)
 	}
 }
 
