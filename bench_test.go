@@ -30,6 +30,13 @@ import (
 	"svto/internal/variation"
 )
 
+// solve runs one deterministic (Workers=1) search through the unified
+// Problem.Solve entry point.
+func solve(p *core.Problem, o core.Options) (*core.Solution, error) {
+	o.Workers = 1
+	return p.Solve(context.Background(), o)
+}
+
 // benchRunner returns a shared Runner sized for benchmarking.
 var benchRunner = sync.OnceValue(func() *report.Runner {
 	r := report.NewRunner()
@@ -169,7 +176,7 @@ func BenchmarkFigure4Stats(b *testing.B) {
 	var sol *core.Solution
 	for i := 0; i < b.N; i++ {
 		var err error
-		sol, err = p.Heuristic2(0.25, 100*time.Millisecond)
+		sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic2, Penalty: 0.25, TimeLimit: 100 * time.Millisecond})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +213,7 @@ func benchHeu1(b *testing.B, name string) {
 	var sol *core.Solution
 	for i := 0; i < b.N; i++ {
 		var err error
-		sol, err = p.Heuristic1(0.05)
+		sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -274,7 +281,7 @@ func BenchmarkAblationSortedVersions(b *testing.B) {
 			var sol *core.Solution
 			for i := 0; i < b.N; i++ {
 				var err error
-				sol, err = p.Heuristic1(0.05)
+				sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -299,7 +306,7 @@ func BenchmarkAblationIncrementalSTA(b *testing.B) {
 			p.Ablate = core.Ablation{FullSTA: !incremental}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := p.Heuristic1(0.05); err != nil {
+				if _, err := solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -324,7 +331,7 @@ func BenchmarkAblationStateBounds(b *testing.B) {
 			var sol *core.Solution
 			for i := 0; i < b.N; i++ {
 				var err error
-				sol, err = p.Heuristic2(0.05, 50*time.Millisecond)
+				sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic2, Penalty: 0.05, TimeLimit: 50 * time.Millisecond})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -362,7 +369,7 @@ func BenchmarkExtensionNitridedOxide(b *testing.B) {
 	b.ResetTimer()
 	var sol *core.Solution
 	for i := 0; i < b.N; i++ {
-		sol, err = p.Heuristic1(0.05)
+		sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -385,9 +392,9 @@ func BenchmarkExtensionRefinement(b *testing.B) {
 			var err error
 			for i := 0; i < b.N; i++ {
 				if refine {
-					sol, err = p.Heuristic1Refined(0.05, 4)
+					sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05, RefinePasses: 4})
 				} else {
-					sol, err = p.Heuristic1(0.05)
+					sol, err = solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 				}
 				if err != nil {
 					b.Fatal(err)
@@ -402,7 +409,7 @@ func BenchmarkExtensionRefinement(b *testing.B) {
 // (statistical standby-leakage analysis) on an optimized solution.
 func BenchmarkExtensionVariationMC(b *testing.B) {
 	p := mustProblem(b, "c880", library.DefaultOptions(), core.ObjTotal)
-	sol, err := p.Heuristic1(0.05)
+	sol, err := solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -70,8 +70,33 @@ func main() {
 		mcSigma   = flag.Float64("mc-sigma", 30, "threshold-voltage sigma for -mc, millivolts")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		submitURL = flag.String("submit", "", "run remotely: submit the job to a leakoptd base URL (e.g. http://localhost:8080)")
+		dumpReq   = flag.String("dump-request", "", "print the job request JSON for these flags and exit ('-' for stdout)")
 	)
 	flag.Parse()
+
+	if *submitURL != "" || *dumpReq != "" {
+		if *seqMode || *mcSamples > 0 || *timing || *ckPath != "" || *ckResume {
+			fatal(fmt.Errorf("-submit/-dump-request run the portable job flow; -seq, -mc, -timing and -checkpoint are local-only"))
+		}
+		req, err := buildRequest(*benchName, *inFile, *method, *libOpt, *penalty, *heu2sec,
+			*workers, *maxLeaves, *vectors, *reportTop, *fuse, *emitWrap != "")
+		if err != nil {
+			fatal(err)
+		}
+		if *dumpReq != "" {
+			if err := dumpRequest(req, *dumpReq); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := submit(ctx, *submitURL, req, *csvOut, *emitWrap); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if (*ckPath != "" || *ckResume) && *method != "heu2" && *method != "exact" {
 		fatal(fmt.Errorf("-checkpoint/-resume require -method heu2 or exact (got %q)", *method))

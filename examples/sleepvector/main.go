@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -47,7 +48,8 @@ func main() {
 
 	// Technique 1: sleep vector only (cheap: modified flip-flops, no
 	// library change, zero delay cost).
-	so, err := prob.StateOnly()
+	so, err := prob.Solve(context.Background(),
+		core.Options{Algorithm: core.AlgStateOnly, Workers: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -65,14 +67,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	vt, err := vtProb.Heuristic1(0.05)
+	vt, err := vtProb.Solve(context.Background(),
+		core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05, Workers: 1})
 	if err != nil {
 		log.Fatal(err)
 	}
 	show("sleep vector + dual-Vt [12], 5% delay", avg, vt.Leak, vt.Delay, prob.Dmin)
 
 	// Technique 3: this paper — simultaneous state + Vt + Tox.
-	h2, err := prob.Heuristic2(0.05, 3*time.Second)
+	h2, err := prob.Solve(context.Background(), core.Options{
+		Algorithm: core.AlgHeuristic2,
+		Penalty:   0.05,
+		TimeLimit: 3 * time.Second,
+		Workers:   1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -42,18 +42,18 @@ func TestEndToEndBenchRoundTripOptimization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	solve := func(c *netlist.Circuit) *core.Solution {
+	optimize := func(c *netlist.Circuit) *core.Solution {
 		p, err := core.NewProblem(c, lib, sta.DefaultConfig(), core.ObjTotal)
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := p.Heuristic1(0.05)
+		sol, err := solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return sol
 	}
-	a, b := solve(orig), solve(parsed)
+	a, b := optimize(orig), optimize(parsed)
 	if math.Abs(a.Leak-b.Leak) > 1e-9 {
 		t.Errorf("round-tripped circuit optimizes differently: %.3f vs %.3f nA", a.Leak, b.Leak)
 	}
@@ -88,7 +88,7 @@ func TestSolutionSimulationConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := p.Heuristic1(0.10)
+	sol, err := solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestTechniqueLadder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	so, err := p.StateOnly()
+	so, err := solve(p, core.Options{Algorithm: core.AlgStateOnly})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +158,11 @@ func TestTechniqueLadder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	vt, err := pvt.Heuristic1(0.05)
+	vt, err := solve(pvt, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h1, err := p.Heuristic1(0.05)
+	h1, err := solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +208,7 @@ func TestLibraryPoliciesEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		sol, err := p.Heuristic1(0.05)
+		sol, err := solve(p, core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,70 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+
+	// Two valid snapshots, saved out of lexical order.
+	b := sampleSnapshot()
+	b.Fingerprint = 2
+	if err := Save(nil, filepath.Join(dir, "job-b.ckpt"), b); err != nil {
+		t.Fatal(err)
+	}
+	a := sampleSnapshot()
+	a.Fingerprint = 1
+	if err := Save(nil, filepath.Join(dir, "job-a.ckpt"), a); err != nil {
+		t.Fatal(err)
+	}
+	// A corrupt snapshot: listed, but with Err set and Snap nil.
+	if err := os.WriteFile(filepath.Join(dir, "job-c.ckpt"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Noise that must be ignored: non-snapshot state files, a leftover
+	// atomic-write temp, and a subdirectory.
+	for _, name := range []string{"job-a.json", "job-d.ckpt.tmp12345"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "artifacts.ckpt"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := ScanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("got %d entries, want 3: %+v", len(entries), entries)
+	}
+	for i, want := range []string{"job-a.ckpt", "job-b.ckpt", "job-c.ckpt"} {
+		if got := filepath.Base(entries[i].Path); got != want {
+			t.Errorf("entry %d: path %q, want %q", i, got, want)
+		}
+	}
+	if entries[0].Err != nil || entries[0].Snap == nil || entries[0].Snap.Fingerprint != 1 {
+		t.Errorf("job-a: %+v, err %v", entries[0].Snap, entries[0].Err)
+	}
+	if entries[1].Err != nil || entries[1].Snap == nil || entries[1].Snap.Fingerprint != 2 {
+		t.Errorf("job-b: %+v, err %v", entries[1].Snap, entries[1].Err)
+	}
+	if entries[2].Err == nil || entries[2].Snap != nil {
+		t.Errorf("job-c: want load error for torn file, got %+v, err %v",
+			entries[2].Snap, entries[2].Err)
+	}
+}
+
+func TestScanDirMissing(t *testing.T) {
+	entries, err := ScanDir(filepath.Join(t.TempDir(), "never-created"))
+	if err != nil {
+		t.Fatalf("missing dir should scan as empty, got %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("got %d entries from missing dir", len(entries))
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -12,6 +13,14 @@ import (
 	"svto/internal/sta"
 	"svto/internal/tech"
 )
+
+// solve1 runs one deterministic (Workers=1) search through the unified
+// Solve entry point; the per-algorithm wrapper methods are deprecated and
+// only exercised by TestDeprecatedWrappersMatchSolve.
+func solve1(p *Problem, o Options) (*Solution, error) {
+	o.Workers = 1
+	return p.Solve(context.Background(), o)
+}
 
 func lib(t *testing.T, opt library.Options) *library.Library {
 	t.Helper()
@@ -89,7 +98,7 @@ func checkSolution(t *testing.T, p *Problem, sol *Solution, budget float64) {
 
 func TestHeuristic1Tiny(t *testing.T) {
 	p := newProblem(t, tinyCircuit(), library.DefaultOptions(), ObjTotal)
-	sol, err := p.Heuristic1(0.05)
+	sol, err := solve1(p, Options{Algorithm: AlgHeuristic1, Penalty: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +117,7 @@ func TestExactMatchesBruteForce(t *testing.T) {
 	const penalty = 0.10
 	budget := p.Budget(penalty)
 
-	exact, err := p.Exact(penalty)
+	exact, err := solve1(p, Options{Algorithm: AlgExact, Penalty: penalty})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,17 +193,17 @@ func TestHeuristicsOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	stateOnly, err := p.StateOnly()
+	stateOnly, err := solve1(p, Options{Algorithm: AlgStateOnly})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkSolution(t, p, stateOnly, p.Dmin*1.001)
-	h1, err := p.Heuristic1(penalty)
+	h1, err := solve1(p, Options{Algorithm: AlgHeuristic1, Penalty: penalty})
 	if err != nil {
 		t.Fatal(err)
 	}
 	checkSolution(t, p, h1, budget)
-	h2, err := p.Heuristic2(penalty, 2*time.Second)
+	h2, err := solve1(p, Options{Algorithm: AlgHeuristic2, Penalty: penalty, TimeLimit: 2 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +237,7 @@ func TestPenaltyMonotone(t *testing.T) {
 	p := newProblem(t, circ, library.DefaultOptions(), ObjTotal)
 	prev := math.Inf(1)
 	for _, pen := range []float64{0, 0.05, 0.10, 0.25, 1.0} {
-		sol, err := p.Heuristic1(pen)
+		sol, err := solve1(p, Options{Algorithm: AlgHeuristic1, Penalty: pen})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,7 +253,7 @@ func TestPenaltyMonotone(t *testing.T) {
 
 func TestZeroPenaltyKeepsMinDelay(t *testing.T) {
 	p := newProblem(t, tinyCircuit(), library.DefaultOptions(), ObjTotal)
-	sol, err := p.Heuristic1(0)
+	sol, err := solve1(p, Options{Algorithm: AlgHeuristic1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,11 +289,11 @@ func TestVtStateBaselineWorse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h1, err := full.Heuristic1(0.05)
+	h1, err := solve1(full, Options{Algorithm: AlgHeuristic1, Penalty: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
-	vtSol, err := vtP.Heuristic1(0.05)
+	vtSol, err := solve1(vtP, Options{Algorithm: AlgHeuristic1, Penalty: 0.05})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,22 +320,22 @@ func TestExactRefusesWideCircuits(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := newProblem(t, circ, library.DefaultOptions(), ObjTotal)
-	if _, err := p.Exact(0.05); err == nil {
+	if _, err := solve1(p, Options{Algorithm: AlgExact, Penalty: 0.05}); err == nil {
 		t.Error("exact accepted a 36-input circuit")
 	}
 }
 
 func TestHeuristic2ImprovesOrMatchesOnTiny(t *testing.T) {
 	p := newProblem(t, tinyCircuit(), library.DefaultOptions(), ObjTotal)
-	h1, err := p.Heuristic1(0.10)
+	h1, err := solve1(p, Options{Algorithm: AlgHeuristic1, Penalty: 0.10})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h2, err := p.Heuristic2(0.10, time.Second)
+	h2, err := solve1(p, Options{Algorithm: AlgHeuristic2, Penalty: 0.10, TimeLimit: time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exact, err := p.Exact(0.10)
+	exact, err := solve1(p, Options{Algorithm: AlgExact, Penalty: 0.10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +445,7 @@ func TestRefineImproves(t *testing.T) {
 	}
 	p := newProblem(t, circ, library.DefaultOptions(), ObjTotal)
 	const penalty = 0.05
-	h1, err := p.Heuristic1(penalty)
+	h1, err := solve1(p, Options{Algorithm: AlgHeuristic1, Penalty: penalty})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -459,7 +468,7 @@ func TestRefineImproves(t *testing.T) {
 	if _, err := p.Refine(h1, penalty, 0); err == nil {
 		t.Error("zero passes accepted")
 	}
-	h1r, err := p.Heuristic1Refined(penalty, 3)
+	h1r, err := solve1(p, Options{Algorithm: AlgHeuristic1, Penalty: penalty, RefinePasses: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -484,7 +493,7 @@ func TestExactWithComplexCells(t *testing.T) {
 	p := newProblem(t, circ, library.DefaultOptions(), ObjTotal)
 	const penalty = 0.10
 	budget := p.Budget(penalty)
-	exact, err := p.Exact(penalty)
+	exact, err := solve1(p, Options{Algorithm: AlgExact, Penalty: penalty})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -555,7 +564,7 @@ func TestHeuristic2RespectsBudget(t *testing.T) {
 	p := newProblem(t, circ, library.DefaultOptions(), ObjTotal)
 	limit := 300 * time.Millisecond
 	start := time.Now()
-	if _, err := p.Heuristic2(0.05, limit); err != nil {
+	if _, err := solve1(p, Options{Algorithm: AlgHeuristic2, Penalty: 0.05, TimeLimit: limit}); err != nil {
 		t.Fatal(err)
 	}
 	if elapsed := time.Since(start); elapsed > limit+2*time.Second {

@@ -257,6 +257,13 @@ type SearchStats struct {
 	// the next interval), so errors surface here instead of aborting.
 	CheckpointWrites int64
 	CheckpointErrors int64
+	// Resumed reports that this run continued from a checkpoint snapshot
+	// rather than starting fresh; PriorRuntime is the wall clock the
+	// crashed run(s) had already spent (included in Runtime).  Together
+	// they let serving layers distinguish a clean result from one stitched
+	// across process restarts.
+	Resumed      bool
+	PriorRuntime time.Duration
 }
 
 // WorkerFailure describes one worker death during a tree search.

@@ -190,6 +190,8 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 		// Degraded completion (all workers died): skip refinement, stamp
 		// what we have, and hand the incumbent back with the error.
 		sol.Stats.Runtime = prior + time.Since(start)
+		sol.Stats.Resumed = snap != nil
+		sol.Stats.PriorRuntime = prior
 		emitFinalProgress(opt, sol)
 		return sol, err
 	}
@@ -203,6 +205,8 @@ func (p *Problem) Solve(ctx context.Context, opt Options) (*Solution, error) {
 	// mid-search snapshots could leave Solution.Stats disagreeing with the
 	// final counters.
 	sol.Stats.Runtime = prior + time.Since(start)
+	sol.Stats.Resumed = snap != nil
+	sol.Stats.PriorRuntime = prior
 	emitFinalProgress(opt, sol)
 	return sol, nil
 }

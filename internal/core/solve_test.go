@@ -141,7 +141,8 @@ func TestSolveCancellation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h1, err := p.Heuristic1(penalty)
+	h1, err := p.Solve(context.Background(),
+		Options{Algorithm: AlgHeuristic1, Penalty: penalty, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -322,7 +323,13 @@ func TestSolveValidation(t *testing.T) {
 func TestSolveRefinePasses(t *testing.T) {
 	p := midCircuit(t)
 	const penalty = 0.05
-	direct, err := p.Heuristic1Refined(penalty, 3)
+	h1, err := p.Solve(context.Background(), Options{
+		Algorithm: AlgHeuristic1, Penalty: penalty, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := p.Refine(h1, penalty, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +340,7 @@ func TestSolveRefinePasses(t *testing.T) {
 		t.Fatal(err)
 	}
 	if math.Abs(direct.Leak-viaSolve.Leak) > 1e-9 {
-		t.Errorf("Heuristic1Refined %.6f != Solve+RefinePasses %.6f", direct.Leak, viaSolve.Leak)
+		t.Errorf("Solve+Refine %.6f != Solve+RefinePasses %.6f", direct.Leak, viaSolve.Leak)
 	}
 	checkSolution(t, p, viaSolve, p.Budget(penalty))
 }
@@ -382,6 +389,19 @@ func TestDeprecatedWrappersMatchSolve(t *testing.T) {
 	}
 	if h2.Leak > h1w.Leak+1e-9 {
 		t.Errorf("zero-budget Heuristic2 %.6f worse than Heuristic1 %.6f", h2.Leak, h1w.Leak)
+	}
+	h1r, err := p.Heuristic1Refined(penalty, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1rs, err := p.Solve(context.Background(), Options{
+		Algorithm: AlgHeuristic1, Penalty: penalty, Workers: 1, RefinePasses: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1r.Leak != h1rs.Leak {
+		t.Errorf("Heuristic1Refined wrapper %.6f != Solve %.6f", h1r.Leak, h1rs.Leak)
 	}
 }
 

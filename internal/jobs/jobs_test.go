@@ -1,0 +1,356 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"svto/internal/gen"
+	"svto/internal/netlist"
+	"svto/pkg/svto"
+)
+
+// benchText serializes a deterministic random mapped circuit to .bench
+// text, the inline form jobs carry on the wire.
+func benchText(t *testing.T, name string, seed int64, inputs, gates int) string {
+	t.Helper()
+	circ, err := gen.RandomLogic(name, seed, inputs, gates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := netlist.WriteBench(&buf, circ); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// quickRequest is a sub-second heuristic1 job.
+func quickRequest(t *testing.T) svto.Request {
+	return svto.Request{
+		Design: svto.DesignSpec{Bench: benchText(t, "quick", 3, 8, 40), Name: "quick"},
+		Search: svto.SearchSpec{Penalty: 0.05},
+	}
+}
+
+// slowRequest is a heuristic2 tree search sized to run for many seconds
+// unless canceled — used to occupy runners and to interrupt mid-search.
+func slowRequest(t *testing.T) svto.Request {
+	return svto.Request{
+		Design: svto.DesignSpec{Bench: benchText(t, "slow", 7, 14, 150), Name: "slow"},
+		Search: svto.SearchSpec{
+			Algorithm:    svto.Heuristic2,
+			Penalty:      0.05,
+			Workers:      1,
+			TimeLimitSec: 300,
+		},
+	}
+}
+
+func waitStatus(t *testing.T, m *Manager, id string, want Status, timeout time.Duration) View {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		v, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == want {
+			return v
+		}
+		if v.Status.Terminal() || time.Now().After(deadline) {
+			t.Fatalf("job %s: status %q (err %q), want %q", id, v.Status, v.Error, want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestSubmitRunsToCompletion(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	req := quickRequest(t)
+	req.Output.StandbyBench = true
+	v, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, m, v.ID, StatusDone, 30*time.Second)
+	if done.Started.IsZero() || done.Finished.IsZero() {
+		t.Errorf("timestamps not set: %+v", done.Record)
+	}
+	if len(done.Result) == 0 {
+		t.Fatal("done view carries no result document")
+	}
+	var res svto.Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatalf("result document: %v", err)
+	}
+	if res.LeakNA <= 0 || res.Interrupted {
+		t.Errorf("result: leak %v interrupted %v", res.LeakNA, res.Interrupted)
+	}
+	for _, kind := range []string{"verilog", "liberty", "csv", "report", "result", "standby-bench"} {
+		path, err := m.Artifact(v.ID, kind)
+		if err != nil {
+			t.Errorf("artifact %s: %v", kind, err)
+			continue
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s: empty or missing (%v)", kind, err)
+		}
+	}
+	if _, err := m.Artifact(v.ID, "bogus"); !errors.Is(err, ErrNoArtifact) {
+		t.Errorf("bogus artifact kind: %v", err)
+	}
+}
+
+func TestSubmitRejectsMalformedRequest(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Submit(svto.Request{}); err == nil {
+		t.Fatal("empty request accepted")
+	}
+	if _, err := m.Submit(svto.Request{
+		Design: svto.DesignSpec{Benchmark: "c432"},
+		Search: svto.SearchSpec{Algorithm: "simulated-annealing"},
+	}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestQueueBoundsAndCancel(t *testing.T) {
+	m, err := Open(Config{
+		StateDir:           t.TempDir(),
+		Concurrency:        1,
+		QueueSize:          2,
+		CheckpointInterval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Occupy the single runner with a long search.
+	running, err := m.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, running.ID, StatusRunning, 30*time.Second)
+
+	// Fill the queue to capacity, then overflow it.
+	var queued []View
+	for i := 0; i < 2; i++ {
+		v, err := m.Submit(quickRequest(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queued = append(queued, v)
+	}
+	if _, err := m.Submit(quickRequest(t)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+
+	// Cancel one queued job in place; the runner must skip it.
+	if err := m.Cancel(queued[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.Get(queued[0].ID); v.Status != StatusCanceled {
+		t.Fatalf("queued cancel: status %q", v.Status)
+	}
+
+	// Cancel the running job; its checkpoint must not survive.
+	if err := m.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, running.ID, StatusCanceled, 30*time.Second)
+	if _, err := os.Stat(m.ckptPath(running.ID)); !os.IsNotExist(err) {
+		t.Errorf("canceled job left checkpoint behind: %v", err)
+	}
+	if err := m.Cancel(running.ID); !errors.Is(err, ErrFinished) {
+		t.Errorf("double cancel: %v, want ErrFinished", err)
+	}
+
+	// The remaining queued job still runs to completion.
+	waitStatus(t, m, queued[1].ID, StatusDone, 60*time.Second)
+}
+
+func TestConcurrentJobsShareBaseline(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir(), Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		v, err := m.Submit(quickRequest(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, v.ID)
+	}
+	for _, id := range ids {
+		waitStatus(t, m, id, StatusDone, 60*time.Second)
+	}
+	if n := m.BaselineBuilds(); n != 1 {
+		t.Errorf("4 concurrent same-technology jobs characterized %d baselines, want 1", n)
+	}
+}
+
+// TestCloseResumeBitIdentical is the durability contract: a job
+// interrupted by graceful shutdown resumes after reopen and produces a CSV
+// byte-identical to an uninterrupted Workers=1 run of the same request.
+func TestCloseResumeBitIdentical(t *testing.T) {
+	req := svto.Request{
+		Design: svto.DesignSpec{Bench: benchText(t, "resume", 11, 12, 90), Name: "resume"},
+		Search: svto.SearchSpec{
+			Algorithm:    svto.Heuristic2,
+			Penalty:      0.05,
+			Workers:      1,
+			TimeLimitSec: 300,
+		},
+	}
+	cfg := Config{Concurrency: 1, CheckpointInterval: 25 * time.Millisecond}
+
+	// Reference: uninterrupted run in its own state directory.
+	refCfg := cfg
+	refCfg.StateDir = t.TempDir()
+	ref, err := Open(refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJob, err := ref.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, ref, refJob.ID, StatusDone, 120*time.Second)
+	refCSV, err := os.ReadFile(filepath.Join(ref.dir, refJob.ID, "power.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	// Interrupted run: wait for the first snapshot, then shut down.
+	cfg.StateDir = t.TempDir()
+	m1, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := m1.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt := m1.ckptPath(job.ID)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if v, _ := m1.Get(job.ID); v.Status.Terminal() {
+			t.Fatalf("job finished before first checkpoint (status %q) — enlarge the circuit", v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m1.Get(job.ID); v.Status != StatusInterrupted {
+		t.Fatalf("after close: status %q, want %q", v.Status, StatusInterrupted)
+	}
+
+	// Reopen the same state directory: the job must be adopted, resumed
+	// and finish with byte-identical artifacts.
+	m2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	done := waitStatus(t, m2, job.ID, StatusDone, 120*time.Second)
+	if done.Resumes == 0 {
+		t.Error("resumed job reports zero Resumes")
+	}
+	var res svto.Result
+	if err := json.Unmarshal(done.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Resumed {
+		t.Error("result does not carry Resumed provenance")
+	}
+	if res.PriorRuntime <= 0 {
+		t.Error("result carries no PriorRuntime")
+	}
+	gotCSV, err := os.ReadFile(filepath.Join(m2.dir, job.ID, "power.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV, refCSV) {
+		t.Errorf("resumed CSV differs from uninterrupted run (%d vs %d bytes)",
+			len(gotCSV), len(refCSV))
+	}
+	// A completed job must not leave its snapshot behind.
+	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
+		t.Errorf("done job left checkpoint behind: %v", err)
+	}
+}
+
+func TestOpenAdoptsOrphanSnapshotsAndScrubsStale(t *testing.T) {
+	dir := t.TempDir()
+	m, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.Submit(quickRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, v.ID, StatusDone, 30*time.Second)
+	m.Close()
+
+	// Plant a stale snapshot for the terminal job and an orphan snapshot
+	// with no record at all.
+	jobsDir := filepath.Join(dir, "jobs")
+	stale := filepath.Join(jobsDir, v.ID+".ckpt")
+	orphan := filepath.Join(jobsDir, "deadbeef00000000.ckpt")
+	for _, p := range []string{stale, orphan} {
+		if err := os.WriteFile(p, []byte("not a real snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m2, err := Open(Config{StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale snapshot for terminal job not scrubbed: %v", err)
+	}
+	orphans := m2.Orphans()
+	if len(orphans) != 1 || orphans[0] != orphan {
+		t.Errorf("orphans = %v, want [%s]", orphans, orphan)
+	}
+	if _, err := os.Stat(orphan); err != nil {
+		t.Errorf("orphan snapshot must be preserved: %v", err)
+	}
+	// The completed job's view (and artifacts) survive the restart.
+	got, err := m2.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusDone || len(got.Result) == 0 {
+		t.Errorf("adopted terminal job: status %q, result %d bytes", got.Status, len(got.Result))
+	}
+}

@@ -2,6 +2,7 @@ package power
 
 import (
 	"bytes"
+	"context"
 	"encoding/csv"
 	"math"
 	"strings"
@@ -32,7 +33,8 @@ func solved(t *testing.T) (*core.Problem, *core.Solution) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := p.Heuristic1(0.10)
+	sol, err := p.Solve(context.Background(),
+		core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.10, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package seq
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -73,7 +74,8 @@ func TestSequentialStandbyFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := p.Heuristic1(0.10)
+	sol, err := p.Solve(context.Background(),
+		core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.10, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -30,7 +31,8 @@ func solved(t *testing.T) (*core.Problem, *core.Solution) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := p.Heuristic1(0.05)
+	sol, err := p.Solve(context.Background(),
+		core.Options{Algorithm: core.AlgHeuristic1, Penalty: 0.05, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,17 +5,23 @@
 // Lee, Deogun, Blaauw and Sylvester, DATE 2004.
 //
 // It wraps the internal netlist/library/timing/search machinery behind a
-// single call:
+// single call over a job-oriented, JSON-serializable [Request]:
 //
-//	res, err := svto.Optimize(ctx, svto.Config{
-//		Bench:   strings.NewReader(benchText), // ISCAS .bench netlist
-//		Penalty: 0.05,                         // 5% delay budget
-//	})
+//	res, err := svto.Run(ctx, svto.Request{
+//		Design: svto.DesignSpec{Bench: benchText}, // ISCAS .bench netlist
+//		Search: svto.SearchSpec{Penalty: 0.05},    // 5% delay budget
+//	}, svto.RunOptions{})
 //
-// so applications do not import svto/internal/... packages.  Cancel the
-// context (or set Config.TimeLimit) to stop a long search early with the
-// best solution found so far; set Config.Workers to spread the search over
+// so applications do not import svto/internal/... packages.  The same
+// Request marshals to the wire format the leakoptd daemon accepts, which is
+// what makes the optimizer consumable as a service: build one Request, then
+// either Run it in-process or POST it to /v1/jobs.  Cancel the context (or
+// set SearchSpec.TimeLimitSec) to stop a long search early with the best
+// solution found so far; set SearchSpec.Workers to spread the search over
 // multiple CPUs.
+//
+// The flat [Config] plus [Optimize] remain as a deprecated shim over
+// Request/Run for one release.
 package svto
 
 import (
@@ -25,13 +31,10 @@ import (
 	"time"
 
 	"svto/internal/core"
-	"svto/internal/gen"
 	"svto/internal/library"
 	"svto/internal/netlist"
 	"svto/internal/sta"
-	"svto/internal/tech"
 	"svto/internal/techmap"
-	"svto/internal/verilog"
 )
 
 // Algorithm names a search strategy.
@@ -65,67 +68,20 @@ const (
 	Lib2OptionUniform Library = "2opt-uniform"
 )
 
-// Progress is a snapshot of a running search, delivered to Config.Progress.
+// Progress is a snapshot of a running search, delivered to
+// RunOptions.Progress and served live by the daemon's job-status endpoint.
 type Progress struct {
-	StateNodes int64         // state-tree nodes visited
-	GateTrials int64         // gate-tree version trials
-	Leaves     int64         // complete states evaluated
-	Pruned     int64         // branches cut by the leakage bound
-	BestLeakNA float64       // incumbent total leakage (nA)
-	Elapsed    time.Duration // time since Optimize started
+	StateNodes int64         `json:"state_nodes"`  // state-tree nodes visited
+	GateTrials int64         `json:"gate_trials"`  // gate-tree version trials
+	Leaves     int64         `json:"leaves"`       // complete states evaluated
+	Pruned     int64         `json:"pruned"`       // branches cut by the leakage bound
+	BestLeakNA float64       `json:"best_leak_na"` // incumbent total leakage (nA)
+	Elapsed    time.Duration `json:"elapsed_ns"`   // time since the search started
 }
 
-// Config describes one optimization run.  Exactly one of Benchmark, Bench
-// or Verilog selects the design; everything else has working defaults.
-type Config struct {
-	// Benchmark names a built-in benchmark profile (c432..c7552, alu64).
-	Benchmark string
-	// Bench reads an ISCAS-85 .bench netlist.
-	Bench io.Reader
-	// Verilog reads a gate-level structural Verilog netlist.
-	Verilog io.Reader
-	// Name labels the design when read from Bench or Verilog.
-	Name string
-
-	// Fuse runs the AOI/OAI peephole fusion pass before optimizing.
-	Fuse bool
-
-	// Algorithm defaults to Heuristic1.
-	Algorithm Algorithm
-	// Penalty is the delay-penalty fraction (0.05 = 5%; 0 keeps the
-	// circuit at its fastest-implementation delay).
-	Penalty float64
-	// TimeLimit bounds the search wall clock (mainly for Heuristic2);
-	// 0 means no limit beyond the context's deadline.
-	TimeLimit time.Duration
-	// Workers is the parallel search width; 0 uses all CPUs, 1 is the
-	// deterministic sequential search.
-	Workers int
-	// RefinePasses > 0 adds iterated gate-refinement passes to the result.
-	RefinePasses int
-	// Library defaults to Lib4Option.
-	Library Library
-
-	// MaxLeaves bounds the number of complete states the tree searches
-	// evaluate; 0 means unlimited.  The budget spans resumed runs: a
-	// checkpointed search that already spent its leaves stays stopped.
-	MaxLeaves int64
-	// Checkpoint enables crash-safe execution for the tree searches
-	// (Heuristic2, Exact): the search frontier and incumbent are written
-	// to Checkpoint.Path so a killed run can continue where it left off.
-	Checkpoint Checkpoint
-
-	// BaselineVectors, when > 0, estimates the unoptimized average leakage
-	// over that many random vectors (Result.BaselineNA, ReductionX).
-	BaselineVectors int
-	// Seed drives the baseline vectors and parallel task shuffling.
-	Seed int64
-
-	// Progress, when non-nil, receives periodic search snapshots.
-	Progress func(Progress)
-}
-
-// Checkpoint configures crash-safe search execution.
+// Checkpoint configures crash-safe search execution.  It is an execution
+// concern, not part of the job Request: the daemon owns one snapshot path
+// per job, and local callers pick their own file.
 type Checkpoint struct {
 	// Path is the snapshot file.  Setting it turns checkpointing on.
 	Path string
@@ -138,49 +94,86 @@ type Checkpoint struct {
 	Resume bool
 }
 
+// RunOptions carries the execution-side knobs of a Run call — everything a
+// job submitter does not control: progress delivery, crash-safety, and the
+// shared characterized baseline.
+type RunOptions struct {
+	// Progress, when non-nil, receives periodic search snapshots.
+	Progress func(Progress)
+	// Checkpoint enables crash-safe execution for the tree searches
+	// (Heuristic2, Exact).
+	Checkpoint Checkpoint
+	// Baseline, when non-nil, supplies a pre-characterized cell library
+	// shared across runs; its spec must match Request.Library.
+	Baseline *Baseline
+}
+
 // GateAssignment is one gate's optimized cell-version choice.
 type GateAssignment struct {
-	Gate    string  // output net name
-	Cell    string  // library cell (INV, NAND2, ...)
-	Version string  // selected Vt/Tox version name
-	Kind    string  // version kind (fast, dual, ...)
-	LeakNA  float64 // standby leakage in this state (nA)
+	Gate    string  `json:"gate"`    // output net name
+	Cell    string  `json:"cell"`    // library cell (INV, NAND2, ...)
+	Version string  `json:"version"` // selected Vt/Tox version name
+	Kind    string  `json:"kind"`    // version kind (fast, dual, ...)
+	LeakNA  float64 `json:"leak_na"` // standby leakage in this state (nA)
 }
 
 // Stats summarizes the search effort.
 type Stats struct {
-	StateNodes  int64
-	GateTrials  int64
-	Leaves      int64
-	Pruned      int64
-	Runtime     time.Duration
-	Interrupted bool // search cut short by cancellation or limits
+	StateNodes  int64         `json:"state_nodes"`
+	GateTrials  int64         `json:"gate_trials"`
+	Leaves      int64         `json:"leaves"`
+	Pruned      int64         `json:"pruned"`
+	Runtime     time.Duration `json:"runtime_ns"`
+	Interrupted bool          `json:"interrupted,omitempty"` // search cut short by cancellation or limits
 	// WorkerFailures describes search workers that panicked and were
 	// isolated (one message per dead worker); empty on a clean run.
-	WorkerFailures []string
+	WorkerFailures []string `json:"worker_failures,omitempty"`
 	// CheckpointWrites and CheckpointErrors count snapshot write attempts
-	// and failures (zero unless Config.Checkpoint.Path was set).
-	CheckpointWrites, CheckpointErrors int64
+	// and failures (zero unless checkpointing was enabled).
+	CheckpointWrites int64 `json:"checkpoint_writes,omitempty"`
+	CheckpointErrors int64 `json:"checkpoint_errors,omitempty"`
 }
 
-// Result is a complete standby assignment for the optimized design.
+// Result is a complete standby assignment for the optimized design.  Its
+// exported fields marshal to the JSON the daemon serves, so remote clients
+// see the same result shape in-process callers do.
 type Result struct {
-	Design string
+	Design string `json:"design"`
 	// Inputs and SleepVector give the standby value per primary input.
-	Inputs      []string
-	SleepVector []bool
+	Inputs      []string `json:"inputs"`
+	SleepVector []bool   `json:"sleep_vector"`
 	// Gates lists the per-gate version assignment in compiled order.
-	Gates []GateAssignment
+	Gates []GateAssignment `json:"gates,omitempty"`
 	// LeakNA is the optimized total standby leakage (nA); IsubNA and
 	// IgateNA are its subthreshold and gate-tunneling components.
-	LeakNA, IsubNA, IgateNA float64
+	LeakNA  float64 `json:"leak_na"`
+	IsubNA  float64 `json:"isub_na"`
+	IgateNA float64 `json:"igate_na"`
 	// DelayPS is the post-assignment circuit delay; BudgetPS the delay
 	// constraint; DminPS/DmaxPS the all-fast and all-slow anchors.
-	DelayPS, BudgetPS, DminPS, DmaxPS float64
+	DelayPS  float64 `json:"delay_ps"`
+	BudgetPS float64 `json:"budget_ps"`
+	DminPS   float64 `json:"dmin_ps"`
+	DmaxPS   float64 `json:"dmax_ps"`
 	// BaselineNA is the random-vector average leakage (0 unless
-	// Config.BaselineVectors was set).
-	BaselineNA float64
-	Stats      Stats
+	// SearchSpec.BaselineVectors was set).
+	BaselineNA float64 `json:"baseline_na,omitempty"`
+
+	// Interrupted reports a search cut short by cancellation, an expired
+	// time limit or an exhausted leaf budget: the result is the best found,
+	// not the search's fixpoint.  Mirrored from Stats so degraded-run state
+	// is first-class in the API rather than buried in counters.
+	Interrupted bool `json:"interrupted,omitempty"`
+	// WorkerFailures is non-empty when search workers died and the search
+	// degraded gracefully (survivors re-ran the dead workers' subtrees).
+	WorkerFailures []string `json:"worker_failures,omitempty"`
+	// Resumed reports that the run continued from a checkpoint snapshot;
+	// PriorRuntime is the wall clock spent by the crashed run(s) it
+	// continued (included in Stats.Runtime).
+	Resumed      bool          `json:"resumed,omitempty"`
+	PriorRuntime time.Duration `json:"prior_runtime_ns,omitempty"`
+
+	Stats Stats `json:"stats"`
 
 	circ *netlist.Circuit
 	lib  *library.Library
@@ -197,17 +190,17 @@ func (r *Result) ReductionX() float64 {
 	return r.BaselineNA / r.LeakNA
 }
 
-// Optimize loads the design, builds (or reuses the cached) standby cell
-// library, and runs the selected search under ctx.
+// Run loads the design, characterizes (or reuses the shared) standby cell
+// library, and runs the requested search under ctx.
 //
-// Optimize can return both a non-nil Result and a non-nil error: when every
+// Run can return both a non-nil Result and a non-nil error: when every
 // search worker died (errors.Is(err, core.ErrWorkerPanic) through the
 // wrapped chain) the Result carries the best solution found before the
-// failure, with the per-worker diagnostics in Result.Stats.WorkerFailures.
+// failure, with the per-worker diagnostics in Result.WorkerFailures.
 // Callers that only check err will never use a silently degraded result;
 // callers that want the partial answer can keep it.
-func Optimize(ctx context.Context, cfg Config) (*Result, error) {
-	circ, err := loadDesign(cfg)
+func Run(ctx context.Context, req Request, opts RunOptions) (*Result, error) {
+	circ, err := req.Design.load()
 	if err != nil {
 		return nil, err
 	}
@@ -216,17 +209,13 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("svto: technology mapping: %w", err)
 		}
 	}
-	if cfg.Fuse {
+	if req.Design.Fuse {
 		if circ, err = techmap.Optimize(circ); err != nil {
 			return nil, fmt.Errorf("svto: fusion pass: %w", err)
 		}
 	}
 
-	opt, err := libraryOptions(cfg.Library)
-	if err != nil {
-		return nil, err
-	}
-	lib, err := library.Cached(tech.Default(), opt)
+	lib, err := libraryFor(req, opts.Baseline)
 	if err != nil {
 		return nil, err
 	}
@@ -235,33 +224,33 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
-	alg, err := coreAlgorithm(cfg.Algorithm)
+	alg, err := coreAlgorithm(req.Search.Algorithm)
 	if err != nil {
 		return nil, err
 	}
 	coreOpts := core.Options{
 		Algorithm:    alg,
-		Penalty:      cfg.Penalty,
-		TimeLimit:    cfg.TimeLimit,
-		Workers:      cfg.Workers,
-		Seed:         cfg.Seed,
-		MaxLeaves:    cfg.MaxLeaves,
-		RefinePasses: cfg.RefinePasses,
+		Penalty:      req.Search.Penalty,
+		TimeLimit:    req.Search.TimeLimit(),
+		Workers:      req.Search.Workers,
+		Seed:         req.Search.Seed,
+		MaxLeaves:    req.Search.MaxLeaves,
+		RefinePasses: req.Search.RefinePasses,
 	}
-	if cfg.Checkpoint.Path != "" || cfg.Checkpoint.Resume {
-		interval := cfg.Checkpoint.Interval
+	if opts.Checkpoint.Path != "" || opts.Checkpoint.Resume {
+		interval := opts.Checkpoint.Interval
 		if interval == 0 {
 			interval = 30 * time.Second
 		}
 		coreOpts.Checkpoint = core.CheckpointOptions{
-			Path:     cfg.Checkpoint.Path,
+			Path:     opts.Checkpoint.Path,
 			Interval: interval,
-			Resume:   cfg.Checkpoint.Resume,
+			Resume:   opts.Checkpoint.Resume,
 		}
 	}
-	if cfg.Progress != nil {
+	if opts.Progress != nil {
 		coreOpts.Progress = func(p core.Progress) {
-			cfg.Progress(Progress{
+			opts.Progress(Progress{
 				StateNodes: p.StateNodes,
 				GateTrials: p.GateTrials,
 				Leaves:     p.Leaves,
@@ -277,16 +266,19 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Design:      circ.Name,
-		Inputs:      append([]string(nil), circ.Inputs...),
-		SleepVector: append([]bool(nil), sol.State...),
-		LeakNA:      sol.Leak,
-		IsubNA:      sol.Isub,
-		IgateNA:     sol.Leak - sol.Isub,
-		DelayPS:     sol.Delay,
-		BudgetPS:    prob.Budget(cfg.Penalty),
-		DminPS:      prob.Dmin,
-		DmaxPS:      prob.Dmax,
+		Design:       circ.Name,
+		Inputs:       append([]string(nil), circ.Inputs...),
+		SleepVector:  append([]bool(nil), sol.State...),
+		LeakNA:       sol.Leak,
+		IsubNA:       sol.Isub,
+		IgateNA:      sol.Leak - sol.Isub,
+		DelayPS:      sol.Delay,
+		BudgetPS:     prob.Budget(req.Search.Penalty),
+		DminPS:       prob.Dmin,
+		DmaxPS:       prob.Dmax,
+		Interrupted:  sol.Stats.Interrupted,
+		Resumed:      sol.Stats.Resumed,
+		PriorRuntime: sol.Stats.PriorRuntime,
 		Stats: Stats{
 			StateNodes:       sol.Stats.StateNodes,
 			GateTrials:       sol.Stats.GateTrials,
@@ -303,9 +295,10 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 		sol:  sol,
 	}
 	for _, wf := range sol.Stats.WorkerFailures {
-		res.Stats.WorkerFailures = append(res.Stats.WorkerFailures,
+		res.WorkerFailures = append(res.WorkerFailures,
 			fmt.Sprintf("worker %d: %s", wf.Worker, wf.Err))
 	}
+	res.Stats.WorkerFailures = res.WorkerFailures
 	for gi := range prob.CC.Gates {
 		ch := sol.Choices[gi]
 		res.Gates = append(res.Gates, GateAssignment{
@@ -316,12 +309,12 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 			LeakNA:  ch.Leak,
 		})
 	}
-	if cfg.BaselineVectors > 0 {
-		seed := cfg.Seed
+	if req.Search.BaselineVectors > 0 {
+		seed := req.Search.Seed
 		if seed == 0 {
 			seed = 1
 		}
-		avg, err := prob.AverageRandomLeak(seed, cfg.BaselineVectors)
+		avg, err := prob.AverageRandomLeak(seed, req.Search.BaselineVectors)
 		if err != nil {
 			return nil, err
 		}
@@ -330,33 +323,111 @@ func Optimize(ctx context.Context, cfg Config) (*Result, error) {
 	return res, solveErr
 }
 
-// loadDesign resolves the configured input source into a circuit.
-func loadDesign(cfg Config) (*netlist.Circuit, error) {
-	sources := 0
-	for _, set := range []bool{cfg.Benchmark != "", cfg.Bench != nil, cfg.Verilog != nil} {
-		if set {
-			sources++
+// Config describes one optimization run as a single flat struct.
+//
+// Deprecated: Config is the pre-daemon shape of the API, kept as a shim for
+// one release.  New code should compose a [Request] (with DesignSpec,
+// LibrarySpec, SearchSpec) plus [RunOptions] and call [Run]; the sub-structs
+// are the same types the leakoptd wire format uses.
+type Config struct {
+	// Benchmark names a built-in benchmark profile (c432..c7552, alu64).
+	Benchmark string
+	// Bench reads an ISCAS-85 .bench netlist.
+	Bench io.Reader
+	// Verilog reads a gate-level structural Verilog netlist.
+	Verilog io.Reader
+	// Name labels the design when read from Bench or Verilog.
+	Name string
+
+	// Fuse runs the AOI/OAI peephole fusion pass before optimizing.
+	Fuse bool
+
+	// Algorithm defaults to Heuristic1.
+	Algorithm Algorithm
+	// Penalty is the delay-penalty fraction (0.05 = 5%).
+	Penalty float64
+	// TimeLimit bounds the search wall clock.
+	TimeLimit time.Duration
+	// Workers is the parallel search width; 0 uses all CPUs.
+	Workers int
+	// RefinePasses > 0 adds iterated gate-refinement passes to the result.
+	RefinePasses int
+	// Library defaults to Lib4Option.
+	Library Library
+
+	// MaxLeaves bounds the number of complete states the tree searches
+	// evaluate; 0 means unlimited.
+	MaxLeaves int64
+	// Checkpoint enables crash-safe execution for the tree searches.
+	Checkpoint Checkpoint
+
+	// BaselineVectors, when > 0, estimates the unoptimized average leakage
+	// over that many random vectors.
+	BaselineVectors int
+	// Seed drives the baseline vectors and parallel task shuffling.
+	Seed int64
+
+	// Progress, when non-nil, receives periodic search snapshots.
+	Progress func(Progress)
+}
+
+// request converts the flat Config into the composable Request plus the
+// execution-side RunOptions, reading any io.Reader sources into the
+// self-contained inline form.
+func (cfg Config) request() (Request, RunOptions, error) {
+	req := Request{
+		Design: DesignSpec{
+			Benchmark: cfg.Benchmark,
+			Name:      cfg.Name,
+			Fuse:      cfg.Fuse,
+		},
+		Library: LibrarySpec{Policy: cfg.Library},
+		Search: SearchSpec{
+			Algorithm:       cfg.Algorithm,
+			Penalty:         cfg.Penalty,
+			TimeLimitSec:    cfg.TimeLimit.Seconds(),
+			Workers:         cfg.Workers,
+			RefinePasses:    cfg.RefinePasses,
+			MaxLeaves:       cfg.MaxLeaves,
+			Seed:            cfg.Seed,
+			BaselineVectors: cfg.BaselineVectors,
+		},
+	}
+	read := func(r io.Reader, dst *string) error {
+		if r == nil {
+			return nil
 		}
-	}
-	if sources != 1 {
-		return nil, fmt.Errorf("svto: set exactly one of Benchmark, Bench or Verilog (got %d)", sources)
-	}
-	name := cfg.Name
-	if name == "" {
-		name = "design"
-	}
-	switch {
-	case cfg.Benchmark != "":
-		prof, err := gen.ByName(cfg.Benchmark)
+		b, err := io.ReadAll(r)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("svto: reading design source: %w", err)
 		}
-		return prof.Build()
-	case cfg.Bench != nil:
-		return netlist.ReadBench(cfg.Bench, name)
-	default:
-		return verilog.Read(cfg.Verilog, name)
+		// An empty source must still count as "set" for the
+		// exactly-one-source validation, even though it cannot parse.
+		*dst = string(b)
+		if len(b) == 0 {
+			*dst = "\n"
+		}
+		return nil
 	}
+	if err := read(cfg.Bench, &req.Design.Bench); err != nil {
+		return Request{}, RunOptions{}, err
+	}
+	if err := read(cfg.Verilog, &req.Design.Verilog); err != nil {
+		return Request{}, RunOptions{}, err
+	}
+	return req, RunOptions{Progress: cfg.Progress, Checkpoint: cfg.Checkpoint}, nil
+}
+
+// Optimize runs the flat Config through [Run].
+//
+// Deprecated: use [Run] with a composed [Request]; Optimize remains as a
+// one-release compatibility shim over it.
+func Optimize(ctx context.Context, cfg Config) (*Result, error) {
+	req, opts, err := cfg.request()
+	if err != nil {
+		return nil, err
+	}
+	return Run(ctx, req, opts)
 }
 
 // isMapped reports whether every gate is directly library-backed.

@@ -1,0 +1,121 @@
+#!/usr/bin/env bash
+# Daemon durability smoke test: start leakoptd, submit a tree-search job
+# over HTTP, SIGKILL the daemon as soon as the job's first checkpoint
+# snapshot lands on disk, restart the daemon on the same state directory,
+# and verify the resumed job's per-gate CSV artifact is bit-identical to an
+# uninterrupted Workers=1 run of the same request.
+#
+# Usage: scripts/daemon_resume_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+go build -o "$WORK/leakoptd" ./cmd/leakoptd
+go build -o "$WORK/leakopt" ./cmd/leakopt
+go build -o "$WORK/benchgen" ./cmd/benchgen
+
+# A seeded random circuit big enough that the search does not finish
+# before the kill, small enough that the smoke stays fast.
+"$WORK/benchgen" -random smoke:7:14:150 -out "$WORK"
+
+ADDR="127.0.0.1:18080"
+BASE="http://$ADDR"
+DAEMON_PID=""
+
+start_daemon() {
+    local state="$1" log="$2"
+    "$WORK/leakoptd" -addr "$ADDR" -state "$state" -jobs 1 \
+        -checkpoint-interval 25ms >"$log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 200); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$log"; echo "FAIL: daemon died on start"; exit 1; }
+        sleep 0.05
+    done
+    echo "FAIL: daemon did not become healthy"; exit 1
+}
+
+stop_daemon() {
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+trap stop_daemon EXIT
+
+# The same request for both runs, built by the CLI so the smoke also
+# exercises leakopt's wire-format plumbing.
+"$WORK/leakopt" -in "$WORK/smoke.bench" -method heu2 -heu2sec 120 \
+    -workers 1 -vectors 200 -penalty 5 \
+    -dump-request "$WORK/request.json"
+
+submit() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary @"$WORK/request.json" "$BASE/v1/jobs" \
+        | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1
+}
+
+job_status() {
+    curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/^  "status": "\([a-z]*\)".*/\1/p' | head -1
+}
+
+wait_done() {
+    local id="$1"
+    for _ in $(seq 1 2400); do
+        case "$(job_status "$id")" in
+            done) return 0 ;;
+            failed|canceled) echo "FAIL: job $id $(job_status "$id")"; exit 1 ;;
+        esac
+        sleep 0.05
+    done
+    echo "FAIL: job $id did not finish"; exit 1
+}
+
+echo "--- reference run (uninterrupted daemon)"
+start_daemon "$WORK/ref-state" "$WORK/ref-daemon.log"
+REF_ID=$(submit)
+echo "reference job: $REF_ID"
+wait_done "$REF_ID"
+curl -fsS "$BASE/v1/jobs/$REF_ID/artifacts/csv" -o "$WORK/ref.csv"
+stop_daemon
+
+echo "--- crash run (SIGKILL on first job snapshot)"
+start_daemon "$WORK/state" "$WORK/daemon1.log"
+JOB_ID=$(submit)
+echo "job: $JOB_ID"
+CKPT="$WORK/state/jobs/$JOB_ID.ckpt"
+KILLED=0
+for _ in $(seq 1 400); do
+    if [ -e "$CKPT" ]; then
+        kill -9 "$DAEMON_PID"
+        wait "$DAEMON_PID" 2>/dev/null || true
+        DAEMON_PID=""
+        KILLED=1
+        break
+    fi
+    case "$(job_status "$JOB_ID")" in
+        done|failed|canceled) break ;;
+    esac
+    sleep 0.025
+done
+echo "killed=$KILLED snapshot_present=$([ -e "$CKPT" ] && echo yes || echo no)"
+stop_daemon
+
+echo "--- restart (daemon adopts and resumes the job)"
+start_daemon "$WORK/state" "$WORK/daemon2.log"
+wait_done "$JOB_ID"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/artifacts/csv" -o "$WORK/resumed.csv"
+if [ "$KILLED" = 1 ]; then
+    curl -fsS "$BASE/v1/jobs/$JOB_ID" | grep -q '"resumed": true' \
+        || { echo "FAIL: resumed job result lacks resume provenance"; exit 1; }
+fi
+stop_daemon
+
+echo "--- comparing per-gate reports"
+if ! diff -u "$WORK/ref.csv" "$WORK/resumed.csv"; then
+    echo "FAIL: resumed job's CSV differs from uninterrupted run"
+    exit 1
+fi
+echo "PASS: daemon resumed the killed job and matched the uninterrupted reference"
