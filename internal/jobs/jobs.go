@@ -140,7 +140,8 @@ type View struct {
 	Progress *svto.Progress `json:"progress,omitempty"`
 	// Result is the completed job's result document (the same JSON served
 	// as the result artifact); nil until the job is done or failed with a
-	// partial result.
+	// partial result.  Only Get carries it — List omits Result so listing
+	// many finished jobs never hauls every per-gate assignment document.
 	Result json.RawMessage `json:"result,omitempty"`
 }
 
@@ -151,6 +152,10 @@ type job struct {
 	cancel     context.CancelFunc // non-nil while running
 	userCancel bool               // Cancel() was called (vs shutdown)
 	progress   progressBox
+	// result caches the rendered result document so Get does not re-read
+	// result.json from disk under the manager mutex on every status poll;
+	// filled by finalize, or lazily on the first Get after a restart.
+	result json.RawMessage
 }
 
 // progressBox holds the latest search snapshot, written by the search's
@@ -215,11 +220,26 @@ func Open(cfg Config) (*Manager, error) {
 		cfg:       cfg,
 		dir:       dir,
 		jobs:      make(map[string]*job),
-		queue:     make(chan string, cfg.QueueSize),
 		baselines: make(map[string]*baselineEntry),
 	}
-	if err := m.adopt(); err != nil {
+	resumable, err := m.adopt()
+	if err != nil {
 		return nil, err
+	}
+	// Size the channel to fit every adopted job before re-enqueueing: the
+	// state directory can hold more non-terminal jobs than QueueSize
+	// (queued + running from the previous process, or a reopen with a
+	// smaller -queue), and the runners are not started yet, so a bounded
+	// send here would deadlock Open forever.  Submit still enforces
+	// cfg.QueueSize itself, so an oversized adoption does not loosen the
+	// admission bound.
+	qcap := cfg.QueueSize
+	if len(resumable) > qcap {
+		qcap = len(resumable)
+	}
+	m.queue = make(chan string, qcap)
+	for _, j := range resumable {
+		m.queue <- j.rec.ID
 	}
 	for i := 0; i < cfg.Concurrency; i++ {
 		m.wg.Add(1)
@@ -228,11 +248,14 @@ func Open(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// adopt loads prior records and snapshots from the state directory.
-func (m *Manager) adopt() error {
+// adopt loads prior records and snapshots from the state directory and
+// returns the non-terminal jobs in creation order, marked queued and ready
+// to re-enqueue.  It never touches the queue — Open sizes the channel off
+// the returned slice before any send.
+func (m *Manager) adopt() ([]*job, error) {
 	des, err := os.ReadDir(m.dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var resumable []*job
 	for _, de := range des {
@@ -262,18 +285,21 @@ func (m *Manager) adopt() error {
 		}
 		j.rec.Status = StatusQueued
 		if err := m.writeRecord(&j.rec); err != nil {
-			return err
+			return nil, err
 		}
-		m.queue <- j.rec.ID
 	}
 	// Snapshot hygiene: terminal jobs must not leave snapshots behind
 	// (completion removes them, but a crash between the final record write
 	// and the snapshot removal can), and snapshots with no record at all
 	// are surfaced rather than silently deleted — they may belong to
-	// another process's state directory mistake.
+	// another process's state directory mistake.  A resumable job whose
+	// snapshot is unreadable (torn final write, old format version) must
+	// restart from scratch with its budget intact, not run into a
+	// guaranteed resume failure: drop the bad snapshot so the search's
+	// unconditional Resume falls back to a fresh start.
 	entries, err := checkpoint.ScanDir(m.dir)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, e := range entries {
 		id := jobIDFromPath(e.Path)
@@ -283,9 +309,11 @@ func (m *Manager) adopt() error {
 			m.orphans = append(m.orphans, e.Path)
 		case j.rec.Status.Terminal():
 			os.Remove(e.Path)
+		case e.Err != nil:
+			os.Remove(e.Path)
 		}
 	}
-	return nil
+	return resumable, nil
 }
 
 func jobIDFromPath(path string) string {
@@ -353,6 +381,14 @@ func (m *Manager) Submit(req svto.Request) (View, error) {
 		m.mu.Unlock()
 		return View{}, ErrClosed
 	}
+	// The channel can be wider than QueueSize after adopting an oversized
+	// state directory, so the admission bound is checked explicitly; the
+	// non-blocking send is kept as a backstop.  Draining runners can only
+	// make len(queue) shrink concurrently, so the check is conservative.
+	if len(m.queue) >= m.cfg.QueueSize {
+		m.mu.Unlock()
+		return View{}, fmt.Errorf("%w (capacity %d)", ErrQueueFull, m.cfg.QueueSize)
+	}
 	select {
 	case m.queue <- id:
 	default:
@@ -365,12 +401,12 @@ func (m *Manager) Submit(req svto.Request) (View, error) {
 		m.mu.Unlock()
 		return View{}, err
 	}
-	v := m.viewLocked(j)
+	v := m.viewLocked(j, false)
 	m.mu.Unlock()
 	return v, nil
 }
 
-// Get returns the current view of a job.
+// Get returns the current view of a job, result document included.
 func (m *Manager) Get(id string) (View, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -378,16 +414,19 @@ func (m *Manager) Get(id string) (View, error) {
 	if !ok {
 		return View{}, ErrNotFound
 	}
-	return m.viewLocked(j), nil
+	return m.viewLocked(j, true), nil
 }
 
-// List returns every known job, newest first.
+// List returns every known job, newest first.  List views omit the result
+// document — it can be large (full per-gate assignment) and a daemon with
+// many finished jobs must not serialize all traffic behind O(jobs) document
+// loads per listing; fetch a single job for its result.
 func (m *Manager) List() []View {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	views := make([]View, 0, len(m.jobs))
 	for _, j := range m.jobs {
-		views = append(views, m.viewLocked(j))
+		views = append(views, m.viewLocked(j, false))
 	}
 	sort.Slice(views, func(i, k int) bool {
 		return views[i].Created.After(views[k].Created)
@@ -395,15 +434,20 @@ func (m *Manager) List() []View {
 	return views
 }
 
-func (m *Manager) viewLocked(j *job) View {
+func (m *Manager) viewLocked(j *job, withResult bool) View {
 	v := View{Record: j.rec}
 	if j.rec.Status == StatusRunning {
 		v.Progress = j.progress.load()
 	}
-	if j.rec.Status == StatusDone || j.rec.Status == StatusFailed {
-		if raw, err := os.ReadFile(m.artifactPath(j.rec.ID, "result")); err == nil {
-			v.Result = raw
+	if withResult && (j.rec.Status == StatusDone || j.rec.Status == StatusFailed) {
+		if j.result == nil {
+			// Adopted after a restart: the document exists only on disk.
+			// Cache it so one job is read at most once per process.
+			if raw, err := os.ReadFile(m.artifactPath(j.rec.ID, "result")); err == nil {
+				j.result = raw
+			}
 		}
+		v.Result = j.result
 	}
 	return v
 }

@@ -4,11 +4,13 @@ import (
 	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 	"time"
 
+	"svto/internal/checkpoint"
 	"svto/internal/gen"
 	"svto/internal/netlist"
 	"svto/pkg/svto"
@@ -303,6 +305,138 @@ func TestCloseResumeBitIdentical(t *testing.T) {
 	// A completed job must not leave its snapshot behind.
 	if _, err := os.Stat(ckpt); !os.IsNotExist(err) {
 		t.Errorf("done job left checkpoint behind: %v", err)
+	}
+}
+
+// plantRecord writes a job record directly into a state directory, the way
+// a previous process would have left it.
+func plantRecord(t *testing.T, stateDir string, rec Record) {
+	t.Helper()
+	jobsDir := filepath.Join(stateDir, "jobs")
+	if err := os.MkdirAll(jobsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(jobsDir, rec.ID+".json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOpenAdoptsMoreJobsThanQueueSize guards against the restart deadlock:
+// a state directory can hold more non-terminal jobs than the (possibly
+// shrunken) configured queue capacity, and Open must still come up, run
+// them all, and keep enforcing the configured bound for new submissions.
+func TestOpenAdoptsMoreJobsThanQueueSize(t *testing.T) {
+	dir := t.TempDir()
+	req := quickRequest(t)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("%016x", i+1)
+		plantRecord(t, dir, Record{
+			ID:      id,
+			Request: req,
+			Status:  StatusQueued,
+			Created: time.Now().UTC().Add(time.Duration(i) * time.Millisecond),
+		})
+		ids = append(ids, id)
+	}
+
+	type opened struct {
+		m   *Manager
+		err error
+	}
+	ch := make(chan opened, 1)
+	go func() {
+		m, err := Open(Config{StateDir: dir, QueueSize: 2, Concurrency: 1})
+		ch <- opened{m, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		defer o.m.Close()
+		for _, id := range ids {
+			waitStatus(t, o.m, id, StatusDone, 60*time.Second)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Open deadlocked adopting more jobs than QueueSize")
+	}
+}
+
+// TestAdoptDropsBadSnapshots: a resumable job whose snapshot is unreadable
+// (torn write, old format) or fingerprint-mismatched (different circuit,
+// library or options) must restart from scratch with its budget intact,
+// not be executed into a permanent resume failure.
+func TestAdoptDropsBadSnapshots(t *testing.T) {
+	treeRequest := func(name string, seed int64) svto.Request {
+		return svto.Request{
+			Design: svto.DesignSpec{Bench: benchText(t, name, seed, 8, 40), Name: name},
+			Search: svto.SearchSpec{
+				Algorithm:    svto.Heuristic2,
+				Penalty:      0.05,
+				Workers:      1,
+				TimeLimitSec: 120,
+			},
+		}
+	}
+
+	dir := t.TempDir()
+	torn := Record{ID: "00000000000feed1", Request: treeRequest("torn", 21), Status: StatusInterrupted, Created: time.Now().UTC()}
+	mismatched := Record{ID: "00000000000feed2", Request: treeRequest("mismatched", 22), Status: StatusInterrupted, Created: time.Now().UTC()}
+	plantRecord(t, dir, torn)
+	plantRecord(t, dir, mismatched)
+	jobsDir := filepath.Join(dir, "jobs")
+	if err := os.WriteFile(filepath.Join(jobsDir, torn.ID+".ckpt"), []byte("not a real snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.Save(nil, filepath.Join(jobsDir, mismatched.ID+".ckpt"),
+		&checkpoint.Snapshot{Fingerprint: 0xbadbadbadbadbad}); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := Open(Config{StateDir: dir, Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for _, rec := range []Record{torn, mismatched} {
+		done := waitStatus(t, m, rec.ID, StatusDone, 120*time.Second)
+		if done.Resumes == 0 {
+			t.Errorf("%s: adopted job reports zero Resumes", rec.ID)
+		}
+		var res svto.Result
+		if err := json.Unmarshal(done.Result, &res); err != nil {
+			t.Fatal(err)
+		}
+		if res.Resumed {
+			t.Errorf("%s: fresh restart must not claim Resumed provenance", rec.ID)
+		}
+	}
+}
+
+func TestListOmitsResultDocuments(t *testing.T) {
+	m, err := Open(Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v, err := m.Submit(quickRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitStatus(t, m, v.ID, StatusDone, 30*time.Second)
+	if len(done.Result) == 0 {
+		t.Fatal("Get must carry the result document")
+	}
+	for _, lv := range m.List() {
+		if len(lv.Result) != 0 {
+			t.Errorf("List view for %s carries a %d-byte result document, want none",
+				lv.ID, len(lv.Result))
+		}
 	}
 }
 

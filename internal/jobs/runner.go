@@ -3,11 +3,13 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	"svto/internal/core"
 	"svto/pkg/svto"
 )
 
@@ -80,7 +82,16 @@ func (m *Manager) execute(ctx context.Context, j *job) (*svto.Result, error) {
 			Resume: true,
 		}
 	}
-	return svto.Run(ctx, req, opts)
+	res, err := svto.Run(ctx, req, opts)
+	if err != nil && errors.Is(err, core.ErrCheckpointMismatch) && opts.Checkpoint.Path != "" {
+		// The adopted snapshot belongs to a different (circuit, library,
+		// options) fingerprint — stale state, not a bad request.  Drop the
+		// snapshot and rerun from scratch with the budget intact instead
+		// of failing the job permanently.
+		os.Remove(opts.Checkpoint.Path)
+		res, err = svto.Run(ctx, req, opts)
+	}
+	return res, err
 }
 
 // finalize persists the job's terminal (or interrupted) state and renders
@@ -91,6 +102,18 @@ func (m *Manager) finalize(j *job, res *svto.Result, err error) {
 	j.cancel = nil
 	now := time.Now().UTC()
 	switch {
+	case j.userCancel:
+		// A user cancel wins over however the search terminated: the
+		// cancellation itself can surface as an error (or every worker can
+		// die while tearing down), and the client who asked for the job to
+		// stop must see "canceled", not "failed".  Any error is kept for
+		// forensics.
+		j.rec.Status = StatusCanceled
+		if err != nil {
+			j.rec.Error = err.Error()
+		}
+		j.rec.Finished = now
+		os.Remove(m.ckptPath(j.rec.ID))
 	case err != nil:
 		j.rec.Status = StatusFailed
 		j.rec.Error = err.Error()
@@ -104,10 +127,6 @@ func (m *Manager) finalize(j *job, res *svto.Result, err error) {
 	case res == nil:
 		j.rec.Status = StatusFailed
 		j.rec.Error = "search returned no result"
-		j.rec.Finished = now
-		os.Remove(m.ckptPath(j.rec.ID))
-	case j.userCancel:
-		j.rec.Status = StatusCanceled
 		j.rec.Finished = now
 		os.Remove(m.ckptPath(j.rec.ID))
 	case res.Interrupted && m.closing:
@@ -172,11 +191,17 @@ func (m *Manager) writeArtifacts(j *job, res *svto.Result) error {
 		_, err = io.WriteString(w, rep)
 		return err
 	}))
-	keep(write(artifactNames["result"], func(w io.Writer) error {
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", "  ")
-		return enc.Encode(res)
-	}))
+	if raw, err := json.MarshalIndent(res, "", "  "); err != nil {
+		keep(err)
+	} else {
+		// Keep the rendered document in memory too, so status requests
+		// serve it without re-reading the artifact from disk.
+		j.result = append(raw, '\n')
+		keep(write(artifactNames["result"], func(w io.Writer) error {
+			_, err := w.Write(j.result)
+			return err
+		}))
+	}
 	if out.StandbyBench {
 		keep(write(artifactNames["standby-bench"], res.WriteStandbyBench))
 	}
