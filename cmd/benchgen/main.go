@@ -8,6 +8,8 @@
 //	benchgen -name c6288 -out .           # just the multiplier
 //	benchgen -stats                       # print sizes without writing
 //	benchgen -random smoke:7:14:150 -out . # seeded random circuit
+//	benchgen -random fuzz:14:150 -out .    # fresh seed, recorded in the header
+//	benchgen -random fuzz:14:150 -seed 99 -out . # replay a recorded seed
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"strconv"
 	"strings"
@@ -28,21 +31,31 @@ func main() {
 	var (
 		out    = flag.String("out", "", "output directory for netlist files")
 		name   = flag.String("name", "", "emit a single named benchmark")
-		random = flag.String("random", "", "emit a random circuit: name:seed:inputs:gates")
+		random = flag.String("random", "", "emit a random circuit: name:seed:inputs:gates, or name:inputs:gates with a fresh (or -seed) seed")
+		seed   = flag.Int64("seed", 0, "random-circuit seed override; replays the seed recorded in a generated netlist's header")
 		stats  = flag.Bool("stats", false, "print circuit statistics")
 		format = flag.String("format", "bench", "output format: bench | verilog")
 	)
 	flag.Parse()
+	seedSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			seedSet = true
+		}
+	})
 	if *out == "" && !*stats {
 		flag.Usage()
 		os.Exit(2)
 	}
 
 	if *random != "" {
-		if err := emitRandom(*random, *out, *format, *stats); err != nil {
+		if err := emitRandom(*random, *seed, seedSet, *out, *format, *stats); err != nil {
 			fatal(err)
 		}
 		return
+	}
+	if seedSet {
+		fatal(fmt.Errorf("-seed only applies to -random circuits"))
 	}
 
 	profiles := gen.Benchmarks()
@@ -97,14 +110,17 @@ func main() {
 }
 
 // emitRandom builds a seeded random circuit described as
-// "name:seed:inputs:gates" and writes it like the named benchmarks.
-func emitRandom(spec, out, format string, stats bool) error {
+// "name:seed:inputs:gates" (or "name:inputs:gates", seeding from the -seed
+// flag or, failing that, the clock) and writes it like the named
+// benchmarks, recording the generating command in the netlist header so a
+// failing fuzz or benchmark circuit can always be regenerated.
+func emitRandom(spec string, seed int64, seedSet bool, out, format string, stats bool) error {
 	parts := strings.Split(spec, ":")
-	if len(parts) != 4 {
-		return fmt.Errorf("-random wants name:seed:inputs:gates, got %q", spec)
+	if len(parts) != 3 && len(parts) != 4 {
+		return fmt.Errorf("-random wants name:seed:inputs:gates or name:inputs:gates, got %q", spec)
 	}
 	name := parts[0]
-	nums := make([]int64, 3)
+	nums := make([]int64, len(parts)-1)
 	for i, p := range parts[1:] {
 		v, err := strconv.ParseInt(p, 10, 64)
 		if err != nil {
@@ -112,7 +128,19 @@ func emitRandom(spec, out, format string, stats bool) error {
 		}
 		nums[i] = v
 	}
-	c, err := gen.RandomLogic(name, nums[0], int(nums[1]), int(nums[2]))
+	var inputs, gates int64
+	switch {
+	case len(parts) == 4 && seedSet:
+		return fmt.Errorf("-random %q already names a seed; drop the -seed flag or the seed field", spec)
+	case len(parts) == 4:
+		seed, inputs, gates = nums[0], nums[1], nums[2]
+	default:
+		inputs, gates = nums[0], nums[1]
+		if !seedSet {
+			seed = time.Now().UnixNano()
+		}
+	}
+	c, err := gen.RandomLogic(name, seed, int(inputs), int(gates))
 	if err != nil {
 		return err
 	}
@@ -121,7 +149,7 @@ func emitRandom(spec, out, format string, stats bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-8s %8d %8d %8d %6d\n", name, st.Inputs, st.Outputs, st.Gates, st.Depth)
+		fmt.Printf("%-8s seed %d %8d %8d %8d %6d\n", name, seed, st.Inputs, st.Outputs, st.Gates, st.Depth)
 	}
 	if out == "" {
 		return nil
@@ -129,15 +157,22 @@ func emitRandom(spec, out, format string, stats bool) error {
 	if err := os.MkdirAll(out, 0o755); err != nil {
 		return err
 	}
-	ext, write := ".bench", netlist.WriteBench
+	ext, write, comment := ".bench", netlist.WriteBench, "#"
 	if format == "verilog" {
-		ext, write = ".v", verilog.Write
+		ext, write, comment = ".v", verilog.Write, "//"
 	} else if format != "bench" {
 		return fmt.Errorf("unknown format %q", format)
 	}
 	path := filepath.Join(out, name+ext)
 	f, err := os.Create(path)
 	if err != nil {
+		return err
+	}
+	// Provenance first, then the regular netlist: the recorded command
+	// regenerates this exact circuit.
+	if _, err := fmt.Fprintf(f, "%s benchgen -random %s:%d:%d -seed %d\n",
+		comment, name, inputs, gates, seed); err != nil {
+		f.Close()
 		return err
 	}
 	if err := write(f, c); err != nil {
@@ -147,7 +182,7 @@ func emitRandom(spec, out, format string, stats bool) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Printf("wrote %s (seed %d)\n", path, seed)
 	return nil
 }
 

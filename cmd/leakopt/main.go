@@ -282,6 +282,14 @@ func main() {
 		if *showStats {
 			fmt.Printf("             state nodes %d, gate trials %d, leaves %d (cache hits %d), pruned %d\n",
 				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.LeafCacheHits, sol.Stats.Pruned)
+			if sol.Stats.BatchSweeps > 0 {
+				fmt.Printf("             batch sweeps %d (%.1f lanes/sweep)\n",
+					sol.Stats.BatchSweeps, float64(sol.Stats.BatchLanes)/float64(sol.Stats.BatchSweeps))
+			}
+			if sol.Stats.Resumed {
+				fmt.Printf("             resumed run: %v of runtime carried from prior run(s)\n",
+					sol.Stats.PriorRuntime.Round(time.Millisecond))
+			}
 			if sol.Stats.CheckpointWrites > 0 || sol.Stats.CheckpointErrors > 0 {
 				fmt.Printf("             checkpoint writes %d (errors %d)\n",
 					sol.Stats.CheckpointWrites, sol.Stats.CheckpointErrors)

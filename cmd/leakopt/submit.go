@@ -116,8 +116,8 @@ func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitW
 		case <-ctx.Done():
 			// Best-effort server-side cancel so an abandoned client does
 			// not leave the job burning budget.
-			del, _ := http.NewRequest(http.MethodDelete, baseURL+"/v1/jobs/"+v.ID, nil)
-			http.DefaultClient.Do(del)
+			cancel, _ := http.NewRequest(http.MethodPost, baseURL+"/v1/jobs/"+v.ID+"/cancel", nil)
+			http.DefaultClient.Do(cancel)
 			return fmt.Errorf("interrupted; canceled job %s", v.ID)
 		case <-time.After(500 * time.Millisecond):
 		}

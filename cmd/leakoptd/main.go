@@ -9,7 +9,10 @@
 //	GET    /v1/jobs/{id}                   status + live progress / result
 //	GET    /v1/jobs/{id}/artifacts/{kind}  verilog | liberty | csv | report |
 //	                                       result | standby-bench
-//	DELETE /v1/jobs/{id}                   cancel (204; 409 if finished)
+//	POST   /v1/jobs/{id}/cancel            cancel (204; 409 if finished)
+//	DELETE /v1/jobs/{id}                   delete a non-running job and all
+//	                                       its state — record, checkpoint,
+//	                                       artifacts (204; 409 if running)
 //	GET    /healthz                        liveness
 //
 // Jobs are durable: requests and checkpoints live under the state
@@ -150,12 +153,26 @@ func newHandler(mgr *jobs.Manager) http.Handler {
 		}
 	})
 
-	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", func(w http.ResponseWriter, r *http.Request) {
 		err := mgr.Cancel(r.PathValue("id"))
 		switch {
 		case errors.Is(err, jobs.ErrNotFound):
 			httpError(w, http.StatusNotFound, err)
 		case errors.Is(err, jobs.ErrFinished):
+			httpError(w, http.StatusConflict, err)
+		case err != nil:
+			httpError(w, http.StatusInternalServerError, err)
+		default:
+			w.WriteHeader(http.StatusNoContent)
+		}
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		err := mgr.Delete(r.PathValue("id"))
+		switch {
+		case errors.Is(err, jobs.ErrNotFound):
+			httpError(w, http.StatusNotFound, err)
+		case errors.Is(err, jobs.ErrRunning):
 			httpError(w, http.StatusConflict, err)
 		case err != nil:
 			httpError(w, http.StatusInternalServerError, err)

@@ -152,7 +152,7 @@ func TestJobAPIEndToEnd(t *testing.T) {
 	}
 
 	// Listing includes the job; unknown jobs and kinds are 404s; deleting
-	// a finished job conflicts.
+	// a finished job purges it.
 	resp, err := http.Get(srv.URL + "/v1/jobs")
 	if err != nil {
 		t.Fatal(err)
@@ -178,14 +178,37 @@ func TestJobAPIEndToEnd(t *testing.T) {
 			t.Errorf("GET %s: %s, want %d", path, resp.Status, want)
 		}
 	}
-	delReq, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v.ID, nil)
-	delResp, err := http.DefaultClient.Do(delReq)
+	cancelResp, err := http.Post(srv.URL+"/v1/jobs/"+v.ID+"/cancel", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	delResp.Body.Close()
-	if delResp.StatusCode != http.StatusConflict {
-		t.Errorf("delete finished job: %s, want 409", delResp.Status)
+	cancelResp.Body.Close()
+	if cancelResp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel finished job: %s, want 409", cancelResp.Status)
+	}
+	del := func(id string) int {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(v.ID); code != http.StatusNoContent {
+		t.Errorf("delete finished job: %d, want 204", code)
+	}
+	if code := del(v.ID); code != http.StatusNotFound {
+		t.Errorf("delete deleted job: %d, want 404", code)
+	}
+	if resp, err := http.Get(srv.URL + "/v1/jobs/" + v.ID); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("get deleted job: %s, want 404", resp.Status)
+		}
 	}
 }
 

@@ -48,7 +48,9 @@ const (
 	// Version is the current snapshot format version.  Bump it whenever
 	// the payload layout changes; old files then fail with ErrVersion
 	// instead of being misdecoded.
-	Version = 1
+	//
+	// History: 2 added BatchSweeps/BatchLanes to Stats.
+	Version = 2
 
 	// maxCount bounds every length read from a snapshot, so a corrupt
 	// length field fails validation instead of attempting a huge
@@ -63,6 +65,8 @@ type Stats struct {
 	Leaves        int64
 	Pruned        int64
 	LeafCacheHits int64
+	BatchSweeps   int64
+	BatchLanes    int64
 }
 
 // WorkerFailure records one worker death (panic or leaf-evaluation error)
@@ -201,6 +205,8 @@ func (s *Snapshot) marshal() []byte {
 	w.i64(s.Stats.Leaves)
 	w.i64(s.Stats.Pruned)
 	w.i64(s.Stats.LeafCacheHits)
+	w.i64(s.Stats.BatchSweeps)
+	w.i64(s.Stats.BatchLanes)
 	w.u32(uint32(len(s.Failures)))
 	for _, f := range s.Failures {
 		w.u32(uint32(f.Worker))
@@ -284,6 +290,8 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 		Leaves:        r.i64(),
 		Pruned:        r.i64(),
 		LeafCacheHits: r.i64(),
+		BatchSweeps:   r.i64(),
+		BatchLanes:    r.i64(),
 	}
 	nf := r.count()
 	for i := 0; i < nf && !r.failed; i++ {

@@ -110,6 +110,9 @@ func (p *Problem) fingerprint(opt Options) uint64 {
 	if p.Ablate.NoLeafCache {
 		ab |= 8
 	}
+	if p.Ablate.NoBatchEval {
+		ab |= 16
+	}
 	wu(ab)
 	return h.Sum64()
 }
@@ -241,6 +244,8 @@ func (sh *sharedSearch) buildSnapshot(tp *taskPool) (*checkpoint.Snapshot, error
 			Leaves:        sh.leaves.Load(),
 			Pruned:        sh.pruned.Load(),
 			LeafCacheHits: sh.leafCacheHits.Load(),
+			BatchSweeps:   sh.batchSweeps.Load(),
+			BatchLanes:    sh.batchLanes.Load(),
 		},
 		Failures: failures,
 		Incumbent: &checkpoint.Incumbent{

@@ -308,6 +308,129 @@ func TestCheckpointCrashResumeEquivalence(t *testing.T) {
 	})
 }
 
+// Regression for the requeued-task double count: when a run is interrupted,
+// each worker's in-flight task goes back on the queue for the next run, so
+// the counters the worker accumulated inside that task must be rolled back
+// before the final snapshot — otherwise every kill re-counts the partial
+// work and the chain's totals drift above an uninterrupted run's.
+func TestCheckpointResumeStatsEquivalence(t *testing.T) {
+	const penalty = 0.05
+	ckOpt := func(dir string) Options {
+		return Options{
+			Algorithm: AlgHeuristic2, Penalty: penalty, Workers: 1,
+			Checkpoint: CheckpointOptions{
+				Path:     filepath.Join(dir, "stats.ckpt"),
+				Interval: time.Hour,
+			},
+		}
+	}
+	// killChain runs a kill/resume chain to completion, returning every
+	// leg's returned stats (cumulative: each resume seeds from the
+	// snapshot totals).
+	killChain := func(t *testing.T, build func(t *testing.T) *Problem, opt Options) []SearchStats {
+		t.Helper()
+		var legs []SearchStats
+		resume := false
+		for iter := 0; iter < 100; iter++ {
+			p := build(t)
+			p.Ablate.CancelAfterLeaves = 50
+			o := opt
+			o.Checkpoint.Resume = resume
+			resume = true
+			sol, err := p.Solve(context.Background(), o)
+			if err != nil {
+				t.Fatalf("leg %d: %v", iter, err)
+			}
+			legs = append(legs, sol.Stats)
+			if !sol.Stats.Interrupted {
+				return legs
+			}
+		}
+		t.Fatal("kill/resume chain did not converge in 100 legs")
+		return nil
+	}
+	checkLegs := func(t *testing.T, legs []SearchStats) {
+		t.Helper()
+		if len(legs) < 3 {
+			t.Fatalf("only %d legs; lower the kill threshold so the chain is actually exercised", len(legs))
+		}
+		for i := 1; i < len(legs); i++ {
+			prev, cur := legs[i-1], legs[i]
+			for _, c := range []struct {
+				name string
+				a, b int64
+			}{
+				{"Leaves", prev.Leaves, cur.Leaves},
+				{"StateNodes", prev.StateNodes, cur.StateNodes},
+				{"GateTrials", prev.GateTrials, cur.GateTrials},
+				{"Pruned", prev.Pruned, cur.Pruned},
+			} {
+				if c.b < c.a {
+					t.Errorf("leg %d: cumulative %s went backwards (%d -> %d)", i, c.name, c.a, c.b)
+				}
+			}
+		}
+	}
+
+	t.Run("pruning inert: totals exact", func(t *testing.T) {
+		// Bound pruning consults the live incumbent, and incumbents are
+		// (deliberately) never rolled back, so a resumed task can prune
+		// subtrees the uninterrupted run walked.  Disable bounds so every
+		// leg replays the identical tree and the chain's final totals must
+		// match an uninterrupted run exactly.
+		build := func(t *testing.T) *Problem {
+			p := midCircuit(t)
+			p.Ablate.NoStateBounds = true
+			return p
+		}
+		_, ref := crashResume(t, build, ckOpt(t.TempDir()), 0)
+		legs := killChain(t, build, ckOpt(t.TempDir()))
+		checkLegs(t, legs)
+		final := legs[len(legs)-1]
+		for _, c := range []struct {
+			name string
+			a, b int64
+		}{
+			{"Leaves", final.Leaves, ref.Stats.Leaves},
+			{"StateNodes", final.StateNodes, ref.Stats.StateNodes},
+			{"Pruned", final.Pruned, ref.Stats.Pruned},
+		} {
+			if c.a != c.b {
+				t.Errorf("final %s %d != uninterrupted %d", c.name, c.a, c.b)
+			}
+		}
+		// The leaf cache dies with each process, so the chain can only lose
+		// hits — and every lost hit is a re-descended gate tree.
+		if final.LeafCacheHits > ref.Stats.LeafCacheHits {
+			t.Errorf("chain LeafCacheHits %d > uninterrupted %d (cache does not survive a crash)",
+				final.LeafCacheHits, ref.Stats.LeafCacheHits)
+		}
+		if final.GateTrials < ref.Stats.GateTrials {
+			t.Errorf("chain GateTrials %d < uninterrupted %d", final.GateTrials, ref.Stats.GateTrials)
+		}
+	})
+
+	t.Run("default bounds: no overcount", func(t *testing.T) {
+		// With bounds on, resumed tasks may legitimately prune more than the
+		// uninterrupted run (tighter incumbent from the start of the task),
+		// so exact equality is too strong — but the chain must never count
+		// MORE than the uninterrupted run, which is precisely what the
+		// requeued-task double count produced.
+		_, ref := crashResume(t, midCircuit, ckOpt(t.TempDir()), 0)
+		legs := killChain(t, midCircuit, ckOpt(t.TempDir()))
+		checkLegs(t, legs)
+		final := legs[len(legs)-1]
+		if final.Leaves > ref.Stats.Leaves {
+			t.Errorf("chain Leaves %d > uninterrupted %d (requeued task double-counted)",
+				final.Leaves, ref.Stats.Leaves)
+		}
+		if final.StateNodes > ref.Stats.StateNodes {
+			t.Errorf("chain StateNodes %d > uninterrupted %d (requeued task double-counted)",
+				final.StateNodes, ref.Stats.StateNodes)
+		}
+	})
+}
+
 // Budgets continue across a resume instead of resetting: a run whose
 // MaxLeaves was exhausted before the crash stays exhausted.
 func TestCheckpointResumeContinuesLeafBudget(t *testing.T) {

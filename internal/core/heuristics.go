@@ -29,11 +29,18 @@ func (p *Problem) Heuristic1(penalty float64) (*Solution, error) {
 // seeding of the tree searches.  Stats.Runtime is stamped by Solve.
 func (p *Problem) heuristic1(budget float64) (*Solution, error) {
 	var stats SearchStats
-	eng, err := p.newBoundEngine()
+	bat, err := p.newBatchEngine()
 	if err != nil {
 		return nil, err
 	}
-	state := p.greedyState(&stats, eng)
+	var eng *sim.Inc3
+	if bat == nil {
+		eng, err = p.newBoundEngine()
+		if err != nil {
+			return nil, err
+		}
+	}
+	state := p.greedyState(&stats, eng, bat)
 	sol, err := p.evalState(state, budget, &stats)
 	if err != nil {
 		return nil, err
@@ -42,18 +49,34 @@ func (p *Problem) heuristic1(budget float64) (*Solution, error) {
 	return sol, nil
 }
 
-// greedyState performs one bound-guided descent of the state tree on the
-// incremental bound engine (each input takes the branch with the lower
-// partial-state bound).  A nil engine means bounds are disabled: every
-// input defaults to the 0 branch, matching the all-zero-bound behavior of
-// the NoStateBounds ablation.
-func (p *Problem) greedyState(stats *SearchStats, eng *sim.Inc3) []bool {
+// greedyState performs one bound-guided descent of the state tree (each
+// input takes the branch with the lower partial-state bound).  With a batch
+// engine both branch bounds of a step come from lanes 0/1 of a single
+// two-lane sweep; with the incremental engine (NoBatchEval) each branch is
+// probed separately — the bound values, and therefore the chosen state, are
+// bit-identical either way.  Both engines nil means bounds are disabled:
+// every input defaults to the 0 branch, matching the all-zero-bound
+// behavior of the NoStateBounds ablation.
+func (p *Problem) greedyState(stats *SearchStats, eng *sim.Inc3, bat *sim.Batch3) []bool {
 	pi := make([]sim.Value, len(p.CC.PI))
 	for i := range pi {
 		pi[i] = sim.X
 	}
+	var bp *batchProber
+	if bat != nil {
+		bp = newBatchProber(p, bat, pi, stats)
+	}
 	for _, idx := range p.piOrder {
 		stats.StateNodes++
+		if bp != nil {
+			b0, b1 := bp.pairBounds(idx)
+			if b0 <= b1 {
+				pi[idx] = sim.False
+			} else {
+				pi[idx] = sim.True
+			}
+			continue
+		}
 		if eng == nil {
 			pi[idx] = sim.False
 			continue
@@ -126,14 +149,21 @@ func (p *Problem) StateOnly() (*Solution, error) {
 // stateOnly is the implementation behind AlgStateOnly.
 func (p *Problem) stateOnly() (*Solution, error) {
 	var stats SearchStats
-	// Same engine, different contribution table: the bound uses the
+	// Same engines, different contribution table: the bound uses the
 	// fast-version leakage instead of the best choice, since no Vt or Tox
 	// assignment is available to this baseline.
-	eng, err := p.fastBoundEngine()
+	bat, err := p.fastBatchEngine()
 	if err != nil {
 		return nil, err
 	}
-	state := p.greedyState(&stats, eng)
+	var eng *sim.Inc3
+	if bat == nil {
+		eng, err = p.fastBoundEngine()
+		if err != nil {
+			return nil, err
+		}
+	}
+	state := p.greedyState(&stats, eng, bat)
 	states, err := p.gateStates(state)
 	if err != nil {
 		return nil, err

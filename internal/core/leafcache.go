@@ -42,10 +42,21 @@ const (
 
 const (
 	leafCacheShards = 64
-	// defaultLeafCacheEntries bounds the total entry count; at one entry
-	// per unique gate-state vector this caps memory at a few MB even on
-	// the largest benchmark circuits.
+	// defaultLeafCacheEntries bounds the total entry count on small
+	// circuits; at one entry per unique gate-state vector this caps memory
+	// at a few MB on the classic benchmarks.
 	defaultLeafCacheEntries = 1 << 13
+	// leafCacheByteBudget caps the cache's approximate retained bytes.  An
+	// entry holds a gate-state vector plus a solution's choice slice, both
+	// O(gates), so on 100k-gate circuits an entry-count cap alone would
+	// balloon to gigabytes; the byte budget shrinks the entry cap instead,
+	// keeping the cache flat-memory as circuits scale (degrading, as
+	// always, to plain re-evaluation once shards fill).
+	leafCacheByteBudget = 256 << 20
+	// leafEntryBytesPerGate approximates an entry's per-gate footprint:
+	// one uint state word, one choice pointer, and map/slice overhead
+	// amortized across the vector.
+	leafEntryBytesPerGate = 24
 )
 
 type leafEntry struct {
@@ -74,8 +85,22 @@ type leafCache struct {
 	perShardCap int
 }
 
-func newLeafCache() *leafCache {
-	c := &leafCache{perShardCap: defaultLeafCacheEntries / leafCacheShards}
+// newLeafCache sizes the cache for a circuit: the usual entry cap, tightened
+// so that cap × per-entry footprint stays inside the byte budget on large
+// circuits.  At least one entry per shard is always allowed, so the seed
+// memoization keeps working at any size.
+func newLeafCache(gates int) *leafCache {
+	entries := defaultLeafCacheEntries
+	if gates > 0 {
+		if byBudget := leafCacheByteBudget / (gates * leafEntryBytesPerGate); byBudget < entries {
+			entries = byBudget
+		}
+	}
+	perShard := entries / leafCacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &leafCache{perShardCap: perShard}
 	for i := range c.shards {
 		c.shards[i].m = make(map[uint64][]*leafEntry)
 	}

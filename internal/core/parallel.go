@@ -48,6 +48,8 @@ type sharedSearch struct {
 	leaves        atomic.Int64
 	pruned        atomic.Int64
 	leafCacheHits atomic.Int64
+	batchSweeps   atomic.Int64
+	batchLanes    atomic.Int64
 
 	// faultLeaves is the shared leaf-attempt counter the Ablation fault
 	// hooks key off; it only advances when a hook is armed, so production
@@ -98,8 +100,10 @@ func newSharedSearch(p *Problem, opt Options, budget float64, seed *Solution) *s
 	sh.gateTrials.Store(seed.Stats.GateTrials)
 	sh.leaves.Store(seed.Stats.Leaves)
 	sh.pruned.Store(seed.Stats.Pruned)
+	sh.batchSweeps.Store(seed.Stats.BatchSweeps)
+	sh.batchLanes.Store(seed.Stats.BatchLanes)
 	if !p.Ablate.NoLeafCache {
-		sh.cache = newLeafCache()
+		sh.cache = newLeafCache(len(p.CC.Gates))
 	}
 	return sh
 }
@@ -217,6 +221,8 @@ func (sh *sharedSearch) snapshot(start time.Time) Progress {
 		Leaves:        sh.leaves.Load(),
 		Pruned:        sh.pruned.Load(),
 		LeafCacheHits: sh.leafCacheHits.Load(),
+		BatchSweeps:   sh.batchSweeps.Load(),
+		BatchLanes:    sh.batchLanes.Load(),
 		BestLeak:      sh.incumbentLeak(),
 		Elapsed:       sh.priorElapsed + time.Since(start),
 	}
@@ -233,6 +239,8 @@ func (sh *sharedSearch) finish(start time.Time) *Solution {
 		Leaves:           sh.leaves.Load(),
 		Pruned:           sh.pruned.Load(),
 		LeafCacheHits:    sh.leafCacheHits.Load(),
+		BatchSweeps:      sh.batchSweeps.Load(),
+		BatchLanes:       sh.batchLanes.Load(),
 		Runtime:          sh.priorElapsed + time.Since(start),
 		Interrupted:      sh.interrupted.Load(),
 		WorkerFailures:   sh.failuresCopy(),
@@ -298,14 +306,21 @@ func (sh *sharedSearch) sharedBaseline() (*sta.State, error) {
 // the shared totals at leaf granularity, keeping the hot path free of
 // atomic traffic).
 type worker struct {
-	sh      *sharedSearch
-	pi      []sim.Value
-	inc     *sim.Inc3 // incremental bound engine (nil: bounds ablated)
+	sh *sharedSearch
+	pi []sim.Value
+	// Exactly one of bp/inc is non-nil when state bounds are on: bp is the
+	// 64-lane batched prober (the default), inc the incremental fallback
+	// under Ablate.NoBatchEval.  Both nil means bounds are ablated.
+	bp      *batchProber
+	inc     *sim.Inc3
 	stats   SearchStats
 	flushed SearchStats
-	base    *sta.State // all-fast reference timing
-	scratch *sta.State // per-leaf working state
-	arena   *leafArena // reusable leaf-evaluation buffers
+	// taskMark snapshots stats at the start of the current pool task, so a
+	// requeued task's partial deltas can be withdrawn (see rollbackTask).
+	taskMark SearchStats
+	base     *sta.State // all-fast reference timing
+	scratch  *sta.State // per-leaf working state
+	arena    *leafArena // reusable leaf-evaluation buffers
 	// exactBest tracks the best solution the current exact leaf descent
 	// installed, for the leaf cache.
 	exactBest *Solution
@@ -316,9 +331,16 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	inc, err := sh.p.newBoundEngine()
+	bat, err := sh.p.newBatchEngine()
 	if err != nil {
 		return nil, err
+	}
+	var inc *sim.Inc3
+	if bat == nil {
+		inc, err = sh.p.newBoundEngine()
+		if err != nil {
+			return nil, err
+		}
 	}
 	w := &worker{
 		sh:      sh,
@@ -327,6 +349,9 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 		base:    base,
 		scratch: base.Clone(),
 		arena:   sh.p.newLeafArena(base),
+	}
+	if bat != nil {
+		w.bp = newBatchProber(sh.p, bat, w.pi, &w.stats)
 	}
 	for i := range w.pi {
 		w.pi[i] = sim.X
@@ -365,17 +390,52 @@ func (w *worker) flush() {
 	w.sh.leaves.Add(w.stats.Leaves - w.flushed.Leaves)
 	w.sh.pruned.Add(w.stats.Pruned - w.flushed.Pruned)
 	w.sh.leafCacheHits.Add(w.stats.LeafCacheHits - w.flushed.LeafCacheHits)
+	w.sh.batchSweeps.Add(w.stats.BatchSweeps - w.flushed.BatchSweeps)
+	w.sh.batchLanes.Add(w.stats.BatchLanes - w.flushed.BatchLanes)
 	w.flushed = w.stats
 }
 
+// markTask records the start of a pool task: any tail deltas of the previous
+// task are published first (they belong to completed work), then the mark is
+// taken so rollbackTask can withdraw exactly this task's contribution.
+func (w *worker) markTask() {
+	w.flush()
+	w.taskMark = w.stats
+}
+
+// rollbackTask withdraws the current task's published counter deltas from
+// the shared totals.  It runs when the task returns to the pool unfinished —
+// worker death or a mid-task stop — because the requeued task will be
+// re-explored from scratch by whichever run (this one or a resume) next
+// takes it, and counting the partial exploration would double-count it:
+// checkpointed totals would re-add the same nodes and leaves after every
+// kill/resume cycle, breaking the monotone-provenance contract of
+// leakopt -stats and the daemon's result documents.  Leaf-budget tickets are
+// deliberately not returned: MaxLeaves is a work budget and the evaluation
+// work behind the rolled-back leaves was genuinely spent.
+func (w *worker) rollbackTask() {
+	w.sh.stateNodes.Add(w.taskMark.StateNodes - w.flushed.StateNodes)
+	w.sh.gateTrials.Add(w.taskMark.GateTrials - w.flushed.GateTrials)
+	w.sh.leaves.Add(w.taskMark.Leaves - w.flushed.Leaves)
+	w.sh.pruned.Add(w.taskMark.Pruned - w.flushed.Pruned)
+	w.sh.leafCacheHits.Add(w.taskMark.LeafCacheHits - w.flushed.LeafCacheHits)
+	w.sh.batchSweeps.Add(w.taskMark.BatchSweeps - w.flushed.BatchSweeps)
+	w.sh.batchLanes.Add(w.taskMark.BatchLanes - w.flushed.BatchLanes)
+	w.stats = w.taskMark
+	w.flushed = w.taskMark
+}
+
 // dfs is the bound-guided state-tree descent: at each level the two branch
-// bounds are computed by the incremental engine (an Assign/Undo pair per
-// branch, touching only the input's fanout cone), the tighter branch
-// explored first, and branches whose admissible bound cannot beat the
-// shared incumbent are pruned.  The hot path allocates nothing.
+// bounds come from the batched prober (one lane pair of a segment sweep
+// shared with up to 62 sibling probes) or, under NoBatchEval, from the
+// incremental engine (an Assign/Undo pair per branch, touching only the
+// input's fanout cone).  The bounds are bit-identical either way, so branch
+// ordering — tighter branch first — and incumbent pruning are too.  The hot
+// path allocates nothing after a segment's first visit.
 //
-// On an error return the engine may hold unpaired Assigns; errors abort the
-// whole search, so no caller reuses the worker afterwards.
+// On an error return the engine may hold unpaired Assigns (and the prober
+// unpopped segments); errors abort the whole search, so no caller reuses
+// the worker afterwards.
 func (w *worker) dfs(depth int) error {
 	sh := w.sh
 	if sh.stop.Load() {
@@ -391,10 +451,14 @@ func (w *worker) dfs(depth int) error {
 		v     sim.Value
 		bound float64
 	}
-	for k, v := range [2]sim.Value{sim.False, sim.True} {
-		branches[k].v = v
-		if w.inc != nil {
-			w.inc.Assign(idx, v)
+	branches[0].v, branches[1].v = sim.False, sim.True
+	var pushed bool
+	if w.bp != nil {
+		pushed = w.bp.push(depth)
+		branches[0].bound, branches[1].bound = w.bp.bounds(depth)
+	} else if w.inc != nil {
+		for k := range branches {
+			w.inc.Assign(idx, branches[k].v)
 			branches[k].bound = w.inc.Bound()
 			w.inc.Undo()
 		}
@@ -420,6 +484,9 @@ func (w *worker) dfs(depth int) error {
 		}
 	}
 	w.pi[idx] = sim.X
+	if pushed {
+		w.bp.pop()
+	}
 	return nil
 }
 
@@ -801,15 +868,23 @@ func (sh *sharedSearch) runPool(opt Options, rs *resumeState) error {
 					return
 				}
 				copy(w.pi, task)
+				w.markTask()
 				if err := sh.runTask(w); err != nil {
 					sh.recordFailure(id, err)
+					// The task re-runs from scratch (here or on resume), so
+					// its partial counters must not stay in the totals.
+					w.rollbackTask()
 					tp.requeue(id)
 					dead.Add(1)
 					return
 				}
 				if sh.stop.Load() {
 					// Stopped mid-task: the subtree may be partially
-					// explored, so it stays in the resumable frontier.
+					// explored, so it stays in the resumable frontier and
+					// its partial counters are withdrawn — a resumed run
+					// re-counts it, and keeping the partial deltas would
+					// double-count it in the stitched totals.
+					w.rollbackTask()
 					tp.requeue(id)
 					return
 				}
@@ -868,9 +943,20 @@ func (sh *sharedSearch) frontier(depth int) ([][]sim.Value, error) {
 	if depth == 0 {
 		return [][]sim.Value{cur}, nil
 	}
-	eng, err := p.newBoundEngine()
+	bat, err := p.newBatchEngine()
 	if err != nil {
 		return nil, err
+	}
+	var bp *batchProber
+	var eng *sim.Inc3
+	var bpStats SearchStats
+	if bat != nil {
+		bp = newBatchProber(p, bat, cur, &bpStats)
+	} else {
+		eng, err = p.newBoundEngine()
+		if err != nil {
+			return nil, err
+		}
 	}
 	var tasks [][]sim.Value
 	var expand func(d int)
@@ -888,10 +974,14 @@ func (sh *sharedSearch) frontier(depth int) ([][]sim.Value, error) {
 			v     sim.Value
 			bound float64
 		}
-		for k, v := range [2]sim.Value{sim.False, sim.True} {
-			branches[k].v = v
-			if eng != nil {
-				eng.Assign(idx, v)
+		branches[0].v, branches[1].v = sim.False, sim.True
+		var pushed bool
+		if bp != nil {
+			pushed = bp.push(d)
+			branches[0].bound, branches[1].bound = bp.bounds(d)
+		} else if eng != nil {
+			for k := range branches {
+				eng.Assign(idx, branches[k].v)
 				branches[k].bound = eng.Bound()
 				eng.Undo()
 			}
@@ -914,7 +1004,12 @@ func (sh *sharedSearch) frontier(depth int) ([][]sim.Value, error) {
 			}
 			cur[idx] = sim.X
 		}
+		if pushed {
+			bp.pop()
+		}
 	}
 	expand(0)
+	sh.batchSweeps.Add(bpStats.BatchSweeps)
+	sh.batchLanes.Add(bpStats.BatchLanes)
 	return tasks, nil
 }

@@ -49,6 +49,13 @@ type Ablation struct {
 	// reached leaf re-runs its gate-tree descent even when an identical
 	// vector was already evaluated.
 	NoLeafCache bool
+	// NoBatchEval disables the 64-lane batched bound evaluator: branch
+	// bounds fall back to one incremental (sim.Inc3) probe per sibling
+	// instead of one sim.Batch3 sweep per frontier fan-out.  Results are
+	// bit-identical either way (the batch path reproduces the incremental
+	// bounds exactly); only throughput and the BatchSweeps/BatchLanes
+	// counters change.
+	NoBatchEval bool
 
 	// The remaining fields are deterministic fault-injection hooks for the
 	// crash-safety tests.  They key off a shared leaf-attempt counter that
@@ -241,7 +248,14 @@ type SearchStats struct {
 	// memoization instead of a fresh gate-tree descent (a subset of
 	// Leaves; GateTrials excludes the descents such hits skipped).
 	LeafCacheHits int64
-	Runtime       time.Duration
+	// BatchSweeps counts batched bound sweeps (one topological pass of the
+	// 64-lane sim.Batch3 evaluator); BatchLanes the probe lanes those
+	// sweeps retired, so BatchLanes/BatchSweeps is the mean lane occupancy
+	// — each lane replaces one incremental bound probe.  Both are zero
+	// under Ablate.NoBatchEval or NoStateBounds.
+	BatchSweeps int64
+	BatchLanes  int64
+	Runtime     time.Duration
 	// Interrupted reports that the search was cut short — by context
 	// cancellation, an expired time limit or an exhausted leaf budget —
 	// so the solution is the best found rather than the search's fixpoint.
@@ -388,13 +402,13 @@ func (p *Problem) newBoundEngine() (*sim.Inc3, error) {
 	return sim.NewInc3(p.CC, p.minChoice, p.minAny)
 }
 
-// fastBoundEngine is the state-only baseline's variant of the bound engine:
-// every gate is pinned to its fastest version, so the contribution tables
-// are the fast version's per-state leakage (and its minimum over states
-// while the gate state is unknown).
-func (p *Problem) fastBoundEngine() (*sim.Inc3, error) {
-	known := make([][]float64, len(p.CC.Gates))
-	unknown := make([]float64, len(p.CC.Gates))
+// fastTables builds the state-only baseline's contribution tables: every
+// gate pinned to its fastest version, so the per-state contribution is the
+// fast version's leakage there (and its minimum over states while the gate
+// state is unknown).
+func (p *Problem) fastTables() (known [][]float64, unknown []float64) {
+	known = make([][]float64, len(p.CC.Gates))
+	unknown = make([]float64, len(p.CC.Gates))
 	for gi := range p.CC.Gates {
 		leaks := p.Timer.Cells[gi].Fast().Leak
 		known[gi] = leaks
@@ -406,6 +420,13 @@ func (p *Problem) fastBoundEngine() (*sim.Inc3, error) {
 		}
 		unknown[gi] = m
 	}
+	return known, unknown
+}
+
+// fastBoundEngine is the state-only baseline's variant of the bound engine,
+// over the fastTables contributions.
+func (p *Problem) fastBoundEngine() (*sim.Inc3, error) {
+	known, unknown := p.fastTables()
 	return sim.NewInc3(p.CC, known, unknown)
 }
 

@@ -71,8 +71,13 @@ type Progress struct {
 	// LeafCacheHits counts leaves answered from the gate-state-vector
 	// memoization instead of a fresh gate-tree descent.
 	LeafCacheHits int64
-	BestLeak      float64
-	Elapsed       time.Duration
+	// BatchSweeps / BatchLanes instrument the 64-lane batched bound
+	// evaluator: sweeps performed and probe lanes retired (their ratio is
+	// the mean lane occupancy).
+	BatchSweeps int64
+	BatchLanes  int64
+	BestLeak    float64
+	Elapsed     time.Duration
 }
 
 // Options configures a Solve call.  The zero value runs Heuristic 1 at a 0%
@@ -227,6 +232,8 @@ func emitFinalProgress(opt Options, sol *Solution) {
 		Leaves:        sol.Stats.Leaves,
 		Pruned:        sol.Stats.Pruned,
 		LeafCacheHits: sol.Stats.LeafCacheHits,
+		BatchSweeps:   sol.Stats.BatchSweeps,
+		BatchLanes:    sol.Stats.BatchLanes,
 		BestLeak:      sol.Leak,
 		Elapsed:       sol.Stats.Runtime,
 	})
@@ -273,6 +280,8 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, 
 		sh.leaves.Store(rs.stats.Leaves)
 		sh.pruned.Store(rs.stats.Pruned)
 		sh.leafCacheHits.Store(rs.stats.LeafCacheHits)
+		sh.batchSweeps.Store(rs.stats.BatchSweeps)
+		sh.batchLanes.Store(rs.stats.BatchLanes)
 		sh.failures = rs.failures
 		sh.splitDepth = rs.splitDepth
 		if sh.maxLeaves > 0 && rs.leavesUsed >= sh.maxLeaves {

@@ -53,9 +53,10 @@ func Benchmarks() []Profile {
 	}
 }
 
-// ByName returns the named benchmark profile.
+// ByName returns the named profile, searching the paper's benchmark set
+// first and the extra generator circuits (Extras) second.
 func ByName(name string) (Profile, error) {
-	for _, p := range Benchmarks() {
+	for _, p := range append(Benchmarks(), Extras()...) {
 		if p.Name == name {
 			return p, nil
 		}

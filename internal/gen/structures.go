@@ -222,5 +222,10 @@ func Extras() []Profile {
 			Build: func() (*netlist.Circuit, error) { return MuxTree("mux6", 6) }},
 		{Name: "cmp16", PaperInputs: 32, PaperGates: 0,
 			Build: func() (*netlist.Circuit, error) { return Comparator("cmp16", 16) }},
+		// cache100k is the 100k-gate-class scaling profile: a 16-way,
+		// 54-set tag compare in front of an 8-layer xor-mix datapath,
+		// ~111k mapped gates behind a 93-input interface.
+		{Name: "cache100k", PaperInputs: 93, PaperGates: 0,
+			Build: func() (*netlist.Circuit, error) { return CacheDatapath("cache100k", 16, 54, 20, 8, 64) }},
 	}
 }

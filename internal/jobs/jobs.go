@@ -71,6 +71,9 @@ var (
 	ErrNotFound = errors.New("jobs: no such job")
 	// ErrFinished rejects canceling a job already in a terminal state.
 	ErrFinished = errors.New("jobs: job already finished")
+	// ErrRunning rejects deleting a job while a runner is executing it;
+	// cancel it first.
+	ErrRunning = errors.New("jobs: job is running; cancel it first")
 	// ErrNoArtifact reports a missing artifact (unknown kind, or the job
 	// has not produced artifacts yet).
 	ErrNoArtifact = errors.New("jobs: no such artifact")
@@ -476,6 +479,43 @@ func (m *Manager) Cancel(id string) error {
 	default:
 		return ErrFinished
 	}
+}
+
+// Delete removes a job and every durable trace of it — checkpoint
+// snapshot, artifact directory and record — so a later Open finds a clean
+// state directory with nothing to adopt and nothing to report as orphaned.
+// Any non-running job may be deleted: queued (the queue carries only IDs,
+// and a runner claiming a deleted ID finds no record and skips it),
+// terminal, or interrupted.  Running jobs must be canceled first.
+//
+// Files are removed before the record: if the process dies mid-delete the
+// job is still fully described by its record and the client simply retries,
+// whereas the opposite order could strand a recordless snapshot that every
+// future Open reports as an orphan.
+func (m *Manager) Delete(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	if j.rec.Status == StatusRunning {
+		return ErrRunning
+	}
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && !errors.Is(err, os.ErrNotExist) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	keep(os.Remove(m.ckptPath(id)))
+	keep(os.RemoveAll(filepath.Join(m.dir, id)))
+	keep(os.Remove(m.recordPath(id)))
+	if firstErr != nil {
+		return firstErr
+	}
+	delete(m.jobs, id)
+	return nil
 }
 
 // Artifact resolves a job's artifact kind (verilog, liberty, csv, report,

@@ -186,6 +186,100 @@ func TestQueueBoundsAndCancel(t *testing.T) {
 	waitStatus(t, m, queued[1].ID, StatusDone, 60*time.Second)
 }
 
+// TestDeleteRemovesAllState is the delete-then-restart contract: Delete
+// purges a job's record, snapshot and artifact directory, so after deleting
+// every job the state directory is empty and a reopened manager adopts
+// nothing and reports no orphans.
+func TestDeleteRemovesAllState(t *testing.T) {
+	state := t.TempDir()
+	cfg := Config{StateDir: state, Concurrency: 1, CheckpointInterval: 50 * time.Millisecond}
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the single runner; a second submission stays queued.
+	slow, err := m.Submit(slowRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, slow.ID, StatusRunning, 30*time.Second)
+	queued, err := m.Submit(quickRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A running job refuses deletion; unknown IDs are not found.
+	if err := m.Delete(slow.ID); !errors.Is(err, ErrRunning) {
+		t.Fatalf("delete running job: %v, want ErrRunning", err)
+	}
+	if err := m.Delete("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete unknown job: %v, want ErrNotFound", err)
+	}
+
+	// A queued job deletes in place; the runner later skips its stale
+	// queue entry.
+	if err := m.Delete(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(queued.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted job still visible: %v", err)
+	}
+
+	// Cancel the slow job, run one to completion, and purge both.  The done
+	// job gets a stray snapshot planted first, simulating a crash in the
+	// window between the final record write and the snapshot removal —
+	// exactly the leftover Delete must clean up.
+	if err := m.Cancel(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, slow.ID, StatusCanceled, 30*time.Second)
+	done, err := m.Submit(quickRequest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, m, done.ID, StatusDone, 60*time.Second)
+	if fi, err := os.Stat(filepath.Join(m.dir, done.ID)); err != nil || !fi.IsDir() {
+		t.Fatalf("done job has no artifact dir: %v", err)
+	}
+	if err := os.WriteFile(m.ckptPath(done.ID), []byte("stale snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(done.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(done.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v, want ErrNotFound", err)
+	}
+	if err := m.Delete(slow.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nothing may survive on disk...
+	entries, err := os.ReadDir(filepath.Join(state, "jobs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range entries {
+		t.Errorf("state dir not clean after deleting every job: %s", de.Name())
+	}
+	// ...and a restarted manager must find a blank slate.
+	m2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if views := m2.List(); len(views) != 0 {
+		t.Errorf("reopened manager adopted %d deleted job(s)", len(views))
+	}
+	if orphans := m2.Orphans(); len(orphans) != 0 {
+		t.Errorf("reopened manager reports orphans: %v", orphans)
+	}
+}
+
 func TestConcurrentJobsShareBaseline(t *testing.T) {
 	m, err := Open(Config{StateDir: t.TempDir(), Concurrency: 4})
 	if err != nil {

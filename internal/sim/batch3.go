@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"fmt"
+
+	"svto/internal/netlist"
+)
+
+// Lanes is the probe capacity of a Batch3 sweep: one bit lane per machine
+// word bit.
+const Lanes = 64
+
+// Batch3 is a bit-parallel 3-valued simulator: it evaluates up to 64
+// independent partial primary-input assignments ("lanes") in one topological
+// sweep over the circuit.  Each net carries two 64-bit planes — val and
+// known — encoding lane l's value as (val>>l&1, known>>l&1): known=1,val=b
+// for a definite 0/1 and known=0 for X (val canonically 0), so one word-wide
+// gate evaluation advances all 64 lanes at once.
+//
+// Alongside the logic sweep, Sweep accumulates the same additive admissible
+// bound Inc3 maintains — per gate, known[g][state] when every fan-in is
+// known in that lane, unknown[g] otherwise — into a per-lane bound vector.
+// Each lane's sum is accumulated in gate index order with the identical
+// sequence of float64 additions Inc3.Bound performs, so Bound(l) is bit for
+// bit the value an Inc3 holding lane l's assignment would return.  That is
+// the determinism contract that lets the searches swap k incremental probes
+// for one batched sweep without changing a single branch decision.
+//
+// Typical use packs the probes of one frontier fan-out: SetAll installs the
+// shared prefix in every lane, SetLane diverges individual lanes, and one
+// Sweep retires the whole batch.  A Batch3 is not safe for concurrent use;
+// searches give each worker its own.
+type Batch3 struct {
+	cc *netlist.Compiled
+	// known[g][s] / unknown[g] are the per-gate bound contribution tables,
+	// shared with (and identical to) the ones the paired Inc3 uses.
+	known   [][]float64
+	unknown []float64
+
+	val []uint64 // per net: lane value bits (canonically 0 where unknown)
+	kn  []uint64 // per net: lane known bits
+
+	bounds [Lanes]float64
+
+	// vbuf/kbuf gather fan-in planes per gate (max fan-in 8, as everywhere).
+	vbuf, kbuf [8]uint64
+}
+
+// NewBatch3 builds a batch engine over the compiled netlist with the given
+// contribution tables, initialized to all-X in every lane.  The table shape
+// requirements match NewInc3's: known holds one row per gate with
+// 2^fanin entries, unknown one entry per gate.
+func NewBatch3(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Batch3, error) {
+	if len(known) != len(cc.Gates) || len(unknown) != len(cc.Gates) {
+		return nil, fmt.Errorf("sim: contribution tables for %d/%d gates, circuit has %d",
+			len(known), len(unknown), len(cc.Gates))
+	}
+	for gi := range cc.Gates {
+		if want := 1 << uint(len(cc.Gates[gi].In)); len(known[gi]) < want {
+			return nil, fmt.Errorf("sim: gate %d: %d contribution states, need %d",
+				gi, len(known[gi]), want)
+		}
+	}
+	return &Batch3{
+		cc:      cc,
+		known:   known,
+		unknown: unknown,
+		val:     make([]uint64, cc.NumNets()),
+		kn:      make([]uint64, cc.NumNets()),
+	}, nil
+}
+
+// Reset returns every primary input to X in every lane.  Gate nets need no
+// clearing: Sweep recomputes all of them from the inputs.
+func (b *Batch3) Reset() {
+	for _, net := range b.cc.PI {
+		b.val[net] = 0
+		b.kn[net] = 0
+	}
+}
+
+// SetAll assigns primary input pi in every lane — the shared prefix of a
+// probe batch.
+func (b *Batch3) SetAll(pi int, v Value) {
+	net := b.cc.PI[pi]
+	switch v {
+	case False:
+		b.val[net] = 0
+		b.kn[net] = ^uint64(0)
+	case True:
+		b.val[net] = ^uint64(0)
+		b.kn[net] = ^uint64(0)
+	default:
+		b.val[net] = 0
+		b.kn[net] = 0
+	}
+}
+
+// SetLane assigns primary input pi in one lane, leaving the other lanes
+// untouched — the diverging part of a probe.
+func (b *Batch3) SetLane(pi, lane int, v Value) {
+	net := b.cc.PI[pi]
+	bit := uint64(1) << uint(lane)
+	switch v {
+	case False:
+		b.val[net] &^= bit
+		b.kn[net] |= bit
+	case True:
+		b.val[net] |= bit
+		b.kn[net] |= bit
+	default:
+		b.val[net] &^= bit
+		b.kn[net] &^= bit
+	}
+}
+
+// Lane reads the current 3-valued level of a net in one lane.
+func (b *Batch3) Lane(net, lane int) Value {
+	bit := uint64(1) << uint(lane)
+	if b.kn[net]&bit == 0 {
+		return X
+	}
+	if b.val[net]&bit != 0 {
+		return True
+	}
+	return False
+}
+
+// Bound returns lane l's admissible bound from the last Sweep.
+func (b *Batch3) Bound(lane int) float64 { return b.bounds[lane] }
+
+// Sweep evaluates every gate once in topological (index) order across all
+// lanes and accumulates the per-lane bound sums for the first `lanes` lanes.
+// Lanes beyond the occupancy still simulate (their plane bits ride along for
+// free) but their bound slots are not maintained.
+func (b *Batch3) Sweep(lanes int) {
+	if lanes < 0 {
+		lanes = 0
+	}
+	if lanes > Lanes {
+		lanes = Lanes
+	}
+	for l := 0; l < lanes; l++ {
+		b.bounds[l] = 0
+	}
+	var mask uint64
+	if lanes == Lanes {
+		mask = ^uint64(0)
+	} else {
+		mask = (uint64(1) << uint(lanes)) - 1
+	}
+	gates := b.cc.Gates
+	for gi := range gates {
+		g := &gates[gi]
+		fanin := len(g.In)
+		allKn := ^uint64(0)
+		uniform := true
+		for k, net := range g.In {
+			v, kn := b.val[net], b.kn[net]
+			b.vbuf[k] = v
+			b.kbuf[k] = kn
+			allKn &= kn
+			if vm, km := v&mask, kn&mask; (vm != 0 && vm != mask) || (km != 0 && km != mask) {
+				uniform = false
+			}
+		}
+		ov, ok := evalPlanes(g.Op, &b.vbuf, &b.kbuf, fanin)
+		b.val[g.Out] = ov
+		b.kn[g.Out] = ok
+
+		// Bound accumulation: each lane adds exactly the contribution an
+		// Inc3 holding that lane's assignment would, in the same gate
+		// order.  The uniform fast path covers the (dominant) gates whose
+		// fan-ins agree across every active lane: one table lookup, then
+		// the same scalar added to each lane.
+		if uniform {
+			var c float64
+			if allKn&mask == mask {
+				var state uint
+				for k := 0; k < fanin; k++ {
+					if b.vbuf[k]&mask != 0 {
+						state |= 1 << uint(k)
+					}
+				}
+				c = b.known[gi][state]
+			} else {
+				c = b.unknown[gi]
+			}
+			for l := 0; l < lanes; l++ {
+				b.bounds[l] += c
+			}
+			continue
+		}
+		row := b.known[gi]
+		unk := b.unknown[gi]
+		for l := 0; l < lanes; l++ {
+			if allKn>>uint(l)&1 == 0 {
+				b.bounds[l] += unk
+				continue
+			}
+			var state uint
+			for k := 0; k < fanin; k++ {
+				state |= uint(b.vbuf[k]>>uint(l)&1) << uint(k)
+			}
+			b.bounds[l] += row[state]
+		}
+	}
+}
+
+// Plane-level 3-valued connectives.  The encoding invariant val&^known == 0
+// (unknown lanes carry a 0 value bit) is preserved by every operator, which
+// is what lets uniformity checks and state gathers read val directly.
+
+// andPlanes folds AND over n fan-in planes: a lane is known-0 as soon as any
+// input is known-0, known-1 only when all inputs are known-1.
+func andPlanes(vbuf, kbuf *[8]uint64, n int) (v, k uint64) {
+	allOne := ^uint64(0)
+	anyZero := uint64(0)
+	for i := 0; i < n; i++ {
+		allOne &= kbuf[i] & vbuf[i]
+		anyZero |= kbuf[i] &^ vbuf[i]
+	}
+	return allOne, allOne | anyZero
+}
+
+// orPlanes folds OR: known-1 as soon as any input is known-1, known-0 only
+// when all inputs are known-0.
+func orPlanes(vbuf, kbuf *[8]uint64, n int) (v, k uint64) {
+	anyOne := uint64(0)
+	allZero := ^uint64(0)
+	for i := 0; i < n; i++ {
+		anyOne |= kbuf[i] & vbuf[i]
+		allZero &= kbuf[i] &^ vbuf[i]
+	}
+	return anyOne, anyOne | allZero
+}
+
+// xorPlanes folds XOR: known only where every input is known.
+func xorPlanes(vbuf, kbuf *[8]uint64, n int) (v, k uint64) {
+	par := uint64(0)
+	allKn := ^uint64(0)
+	for i := 0; i < n; i++ {
+		par ^= vbuf[i]
+		allKn &= kbuf[i]
+	}
+	return par & allKn, allKn
+}
+
+func notPlane(v, k uint64) (uint64, uint64) { return k &^ v, k }
+
+func and2(va, ka, vb, kb uint64) (v, k uint64) {
+	allOne := ka & va & kb & vb
+	anyZero := (ka &^ va) | (kb &^ vb)
+	return allOne, allOne | anyZero
+}
+
+func or2(va, ka, vb, kb uint64) (v, k uint64) {
+	anyOne := (ka & va) | (kb & vb)
+	allZero := (ka &^ va) & (kb &^ vb)
+	return anyOne, anyOne | allZero
+}
+
+// evalPlanes is Eval3Op on bit planes: identical truth tables, 64 lanes per
+// operation.
+func evalPlanes(op netlist.Op, vbuf, kbuf *[8]uint64, n int) (v, k uint64) {
+	switch op {
+	case netlist.OpNot:
+		return notPlane(vbuf[0], kbuf[0])
+	case netlist.OpBuf:
+		return vbuf[0], kbuf[0]
+	case netlist.OpAnd:
+		return andPlanes(vbuf, kbuf, n)
+	case netlist.OpNand:
+		return notPlane(andPlanes(vbuf, kbuf, n))
+	case netlist.OpOr:
+		return orPlanes(vbuf, kbuf, n)
+	case netlist.OpNor:
+		return notPlane(orPlanes(vbuf, kbuf, n))
+	case netlist.OpXor:
+		return xorPlanes(vbuf, kbuf, n)
+	case netlist.OpXnor:
+		return notPlane(xorPlanes(vbuf, kbuf, n))
+	case netlist.OpAoi21:
+		av, ak := and2(vbuf[0], kbuf[0], vbuf[1], kbuf[1])
+		return notPlane(or2(av, ak, vbuf[2], kbuf[2]))
+	case netlist.OpOai21:
+		ov, ok := or2(vbuf[0], kbuf[0], vbuf[1], kbuf[1])
+		return notPlane(and2(ov, ok, vbuf[2], kbuf[2]))
+	case netlist.OpAoi22:
+		av, ak := and2(vbuf[0], kbuf[0], vbuf[1], kbuf[1])
+		bv, bk := and2(vbuf[2], kbuf[2], vbuf[3], kbuf[3])
+		return notPlane(or2(av, ak, bv, bk))
+	case netlist.OpOai22:
+		av, ak := or2(vbuf[0], kbuf[0], vbuf[1], kbuf[1])
+		bv, bk := or2(vbuf[2], kbuf[2], vbuf[3], kbuf[3])
+		return notPlane(and2(av, ak, bv, bk))
+	default:
+		// invariant: unreachable — the op set is closed (ParseOp/techmap emit
+		// only the cases above), so this cannot be triggered by circuit input.
+		panic(fmt.Sprintf("sim: batch eval of unknown op %d", uint8(op)))
+	}
+}

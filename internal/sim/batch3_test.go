@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"svto/internal/gen"
+	"svto/internal/netlist"
+)
+
+func compileSmall(t *testing.T) *netlist.Compiled {
+	t.Helper()
+	small := &netlist.Circuit{
+		Name:    "batch3small",
+		Inputs:  []string{"a", "b", "c", "d"},
+		Outputs: []string{"o1", "o2"},
+		Gates: []netlist.Gate{
+			{Name: "n1", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
+			{Name: "n2", Op: netlist.OpNor, Fanin: []string{"b", "c"}},
+			{Name: "n3", Op: netlist.OpAoi21, Fanin: []string{"n1", "n2", "d"}},
+			{Name: "o1", Op: netlist.OpNand, Fanin: []string{"n1", "n3"}},
+			{Name: "o2", Op: netlist.OpXor, Fanin: []string{"n2", "n3"}},
+		},
+	}
+	cc, err := small.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+func compileGen(t *testing.T, name string) *netlist.Compiled {
+	t.Helper()
+	prof, err := gen.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	circ, err := prof.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := circ.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cc
+}
+
+// checkLane asserts one lane of a swept batch against the full-resimulation
+// reference and an Inc3 driven to the same assignment: every net level must
+// match Eval3 and the lane bound must equal both references exactly (==).
+func checkLane(t *testing.T, cc *netlist.Compiled, bat *Batch3, eng *Inc3, lane int, pi []Value, known [][]float64, unknown []float64) {
+	t.Helper()
+	vals, err := Eval3(cc, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net := range vals {
+		if got := bat.Lane(net, lane); got != vals[net] {
+			t.Fatalf("lane %d net %d: batch %v != eval3 %v", lane, net, got, vals[net])
+		}
+	}
+	want := refBound(t, cc, pi, known, unknown)
+	if got := bat.Bound(lane); got != want {
+		t.Fatalf("lane %d: batch bound %v != reference %v", lane, got, want)
+	}
+	for i, v := range pi {
+		eng.Assign(i, v)
+	}
+	if got := eng.Bound(); got != bat.Bound(lane) {
+		t.Fatalf("lane %d: inc3 bound %v != batch bound %v", lane, got, bat.Bound(lane))
+	}
+	for range pi {
+		eng.Undo()
+	}
+}
+
+// TestBatch3ExhaustiveCubes drives every one of the 3^k input cubes of the
+// small circuit through the batch engine, 64 lanes per sweep, and checks
+// each lane against Eval3 and Inc3 bit for bit.
+func TestBatch3ExhaustiveCubes(t *testing.T) {
+	cc := compileSmall(t)
+	known, unknown := refBoundTables(cc, 7)
+	bat, err := NewBatch3(cc, known, unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewInc3(cc, known, unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	k := len(cc.PI)
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= 3
+	}
+	cube := func(idx int) []Value {
+		pi := make([]Value, k)
+		for i := 0; i < k; i++ {
+			pi[i] = Value(idx % 3)
+			idx /= 3
+		}
+		return pi
+	}
+	for base := 0; base < total; base += Lanes {
+		lanes := total - base
+		if lanes > Lanes {
+			lanes = Lanes
+		}
+		bat.Reset()
+		for l := 0; l < lanes; l++ {
+			pi := cube(base + l)
+			for i, v := range pi {
+				bat.SetLane(i, l, v)
+			}
+		}
+		bat.Sweep(lanes)
+		for l := 0; l < lanes; l++ {
+			checkLane(t, cc, bat, eng, l, cube(base+l), known, unknown)
+		}
+	}
+}
+
+// TestBatch3LanePacking exercises the SetAll-prefix + SetLane-divergence
+// packing the searches use, on generated circuits: every sweep installs a
+// random shared partial assignment, diverges each lane on a few inputs, and
+// checks all lanes.  Partial occupancy is covered by varying the lane count.
+func TestBatch3LanePacking(t *testing.T) {
+	for _, name := range []string{"c432", "c880"} {
+		t.Run(name, func(t *testing.T) {
+			cc := compileGen(t, name)
+			known, unknown := refBoundTables(cc, 7)
+			bat, err := NewBatch3(cc, known, unknown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := NewInc3(cc, known, unknown)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(len(cc.Gates))))
+			for sweep := 0; sweep < 20; sweep++ {
+				lanes := 1 + rng.Intn(Lanes)
+				prefix := make([]Value, len(cc.PI))
+				bat.Reset()
+				for i := range prefix {
+					prefix[i] = Value(rng.Intn(3))
+					bat.SetAll(i, prefix[i])
+				}
+				perLane := make([][]Value, lanes)
+				for l := 0; l < lanes; l++ {
+					pi := append([]Value(nil), prefix...)
+					for d := 0; d < 1+rng.Intn(4); d++ {
+						idx := rng.Intn(len(pi))
+						v := Value(rng.Intn(3))
+						pi[idx] = v
+						bat.SetLane(idx, l, v)
+					}
+					perLane[l] = pi
+				}
+				bat.Sweep(lanes)
+				for l := 0; l < lanes; l++ {
+					checkLane(t, cc, bat, eng, l, perLane[l], known, unknown)
+				}
+			}
+		})
+	}
+}
+
+// TestBatch3Reset checks that Reset returns every lane to the all-X root
+// bound after an arbitrary packed sweep.
+func TestBatch3Reset(t *testing.T) {
+	cc := compileGen(t, "c432")
+	known, unknown := refBoundTables(cc, 7)
+	bat, err := NewBatch3(cc, known, unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cc.PI {
+		bat.SetAll(i, Value(i%3))
+	}
+	bat.Sweep(Lanes)
+	bat.Reset()
+	bat.Sweep(Lanes)
+	allX := make([]Value, len(cc.PI))
+	for i := range allX {
+		allX[i] = X
+	}
+	want := refBound(t, cc, allX, known, unknown)
+	for l := 0; l < Lanes; l++ {
+		if got := bat.Bound(l); got != want {
+			t.Fatalf("lane %d after reset: %v != all-X bound %v", l, got, want)
+		}
+	}
+}
+
+// TestBatch3Validation exercises the constructor's table checks.
+func TestBatch3Validation(t *testing.T) {
+	small := &netlist.Circuit{
+		Name:    "batch3bad",
+		Inputs:  []string{"a", "b"},
+		Outputs: []string{"o"},
+		Gates: []netlist.Gate{
+			{Name: "o", Op: netlist.OpNand, Fanin: []string{"a", "b"}},
+		},
+	}
+	cc, err := small.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatch3(cc, nil, nil); err == nil {
+		t.Error("nil tables accepted")
+	}
+	if _, err := NewBatch3(cc, [][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("short state row accepted (NAND2 needs 4 states)")
+	}
+	if _, err := NewBatch3(cc, [][]float64{{1, 2, 3, 4}}, []float64{1}); err != nil {
+		t.Errorf("well-formed tables rejected: %v", err)
+	}
+}

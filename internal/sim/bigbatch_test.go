@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"svto/internal/gen"
+	"svto/internal/netlist"
+)
+
+// cache100k is shared between the 100k-gate spot-check test and
+// BenchmarkBatchBound: building and compiling ~110k gates takes long enough
+// that doing it once per process matters.
+var cache100k struct {
+	once sync.Once
+	cc   *netlist.Compiled
+	err  error
+}
+
+func compileCache100k(tb testing.TB) *netlist.Compiled {
+	tb.Helper()
+	cache100k.once.Do(func() {
+		prof, err := gen.ByName("cache100k")
+		if err != nil {
+			cache100k.err = err
+			return
+		}
+		circ, err := prof.Build()
+		if err != nil {
+			cache100k.err = err
+			return
+		}
+		cache100k.cc, cache100k.err = circ.Compile()
+	})
+	if cache100k.err != nil {
+		tb.Fatal(cache100k.err)
+	}
+	return cache100k.cc
+}
+
+// TestBatch3CacheDatapath100k spot-checks the batched evaluator at scale:
+// on the ~110k-gate cache/datapath profile, randomized 64-lane sweeps must
+// agree with the Eval3 reference — every lane's bound exactly, and lane
+// values on a stride of nets (a full per-net sweep repeats the small-circuit
+// exhaustive tests; at this size the point is the wide-word paths and
+// allocation behavior, not the truth tables again).
+func TestBatch3CacheDatapath100k(t *testing.T) {
+	cc := compileCache100k(t)
+	known, unknown := refBoundTables(cc, 1009)
+	bat, err := NewBatch3(cc, known, unknown)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(41))
+	pis := make([][]Value, Lanes)
+	for l := range pis {
+		pis[l] = make([]Value, len(cc.PI))
+	}
+	for sweep := 0; sweep < 2; sweep++ {
+		bat.Reset()
+		// Shared prefix: every PI gets a random definite value or X...
+		prefix := make([]Value, len(cc.PI))
+		for i := range prefix {
+			prefix[i] = Value(rng.Intn(3))
+			bat.SetAll(i, prefix[i])
+		}
+		// ...and each lane diverges on a handful of inputs.
+		for l := 0; l < Lanes; l++ {
+			copy(pis[l], prefix)
+			for d := 0; d < 1+rng.Intn(4); d++ {
+				idx := rng.Intn(len(cc.PI))
+				v := Value(rng.Intn(3))
+				pis[l][idx] = v
+				bat.SetLane(idx, l, v)
+			}
+		}
+		bat.Sweep(Lanes)
+
+		for l := 0; l < Lanes; l++ {
+			vals, err := Eval3(cc, pis[l])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := bat.Bound(l), refBound(t, cc, pis[l], known, unknown); got != want {
+				t.Fatalf("sweep %d lane %d: bound %v != reference %v", sweep, l, got, want)
+			}
+			for net := l % 13; net < len(vals); net += 13 {
+				if got := bat.Lane(net, l); got != vals[net] {
+					t.Fatalf("sweep %d lane %d net %d: %v != eval3 %v", sweep, l, net, got, vals[net])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkBatchBound measures per-probe bound-evaluation throughput on the
+// ~110k-gate profile.  A "probe" is one state-tree node bound: the workload
+// at N lanes is the N leaf bounds of a log2(N)-deep sibling subtree over
+// the first PIs — exactly what one batched level sweep retires, and what
+// the incremental engine obtains by walking the subtree with per-probe cone
+// updates (on a datapath this wide the index/tag cones are nearly the whole
+// circuit).  Compare ns/probe between inc3 and batch3 at equal lane counts;
+// occupancy is the lever, so the speedup grows with N and the search's
+// shallow 2-lane sweeps stay near break-even.
+func BenchmarkBatchBound(b *testing.B) {
+	cc := compileCache100k(b)
+	known, unknown := refBoundTables(cc, 1009)
+
+	for _, level := range []int{1, 4, 5, 6} {
+		lanes := 1 << level
+
+		b.Run(fmt.Sprintf("inc3/lanes=%d", lanes), func(b *testing.B) {
+			eng, err := NewInc3(cc, known, unknown)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := 0.0
+			var walk func(d int)
+			walk = func(d int) {
+				for _, v := range []Value{False, True} {
+					eng.Assign(d, v)
+					if d == level-1 {
+						sink += eng.Bound()
+					} else {
+						walk(d + 1)
+					}
+					eng.Undo()
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				walk(0)
+			}
+			b.StopTimer()
+			if sink == 0 {
+				b.Fatal("no bounds accumulated")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/probe")
+		})
+
+		b.Run(fmt.Sprintf("batch3/lanes=%d", lanes), func(b *testing.B) {
+			bat, err := NewBatch3(cc, known, unknown)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink := 0.0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bat.Reset()
+				for l := 0; l < lanes; l++ {
+					for j := 0; j < level; j++ {
+						bat.SetLane(j, l, Value(l>>(level-1-j)&1))
+					}
+				}
+				bat.Sweep(lanes)
+				for l := 0; l < lanes; l++ {
+					sink += bat.Bound(l)
+				}
+			}
+			b.StopTimer()
+			if sink == 0 {
+				b.Fatal("no bounds accumulated")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*lanes), "ns/probe")
+		})
+	}
+}

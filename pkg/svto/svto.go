@@ -71,12 +71,17 @@ const (
 // Progress is a snapshot of a running search, delivered to
 // RunOptions.Progress and served live by the daemon's job-status endpoint.
 type Progress struct {
-	StateNodes int64         `json:"state_nodes"`  // state-tree nodes visited
-	GateTrials int64         `json:"gate_trials"`  // gate-tree version trials
-	Leaves     int64         `json:"leaves"`       // complete states evaluated
-	Pruned     int64         `json:"pruned"`       // branches cut by the leakage bound
-	BestLeakNA float64       `json:"best_leak_na"` // incumbent total leakage (nA)
-	Elapsed    time.Duration `json:"elapsed_ns"`   // time since the search started
+	StateNodes int64 `json:"state_nodes"` // state-tree nodes visited
+	GateTrials int64 `json:"gate_trials"` // gate-tree version trials
+	Leaves     int64 `json:"leaves"`      // complete states evaluated
+	Pruned     int64 `json:"pruned"`      // branches cut by the leakage bound
+	// BatchSweeps counts 64-lane batched bound sweeps and BatchLanes the
+	// probe lanes they retired; BatchLanes/BatchSweeps is the mean lane
+	// occupancy of the batched evaluator.
+	BatchSweeps int64         `json:"batch_sweeps,omitempty"`
+	BatchLanes  int64         `json:"batch_lanes,omitempty"`
+	BestLeakNA  float64       `json:"best_leak_na"` // incumbent total leakage (nA)
+	Elapsed     time.Duration `json:"elapsed_ns"`   // time since the search started
 }
 
 // Checkpoint configures crash-safe search execution.  It is an execution
@@ -119,10 +124,14 @@ type GateAssignment struct {
 
 // Stats summarizes the search effort.
 type Stats struct {
-	StateNodes  int64         `json:"state_nodes"`
-	GateTrials  int64         `json:"gate_trials"`
-	Leaves      int64         `json:"leaves"`
-	Pruned      int64         `json:"pruned"`
+	StateNodes int64 `json:"state_nodes"`
+	GateTrials int64 `json:"gate_trials"`
+	Leaves     int64 `json:"leaves"`
+	Pruned     int64 `json:"pruned"`
+	// BatchSweeps / BatchLanes instrument the 64-lane batched bound
+	// evaluator (zero when it is disabled).
+	BatchSweeps int64         `json:"batch_sweeps,omitempty"`
+	BatchLanes  int64         `json:"batch_lanes,omitempty"`
 	Runtime     time.Duration `json:"runtime_ns"`
 	Interrupted bool          `json:"interrupted,omitempty"` // search cut short by cancellation or limits
 	// WorkerFailures describes search workers that panicked and were
@@ -251,12 +260,14 @@ func Run(ctx context.Context, req Request, opts RunOptions) (*Result, error) {
 	if opts.Progress != nil {
 		coreOpts.Progress = func(p core.Progress) {
 			opts.Progress(Progress{
-				StateNodes: p.StateNodes,
-				GateTrials: p.GateTrials,
-				Leaves:     p.Leaves,
-				Pruned:     p.Pruned,
-				BestLeakNA: p.BestLeak,
-				Elapsed:    p.Elapsed,
+				StateNodes:  p.StateNodes,
+				GateTrials:  p.GateTrials,
+				Leaves:      p.Leaves,
+				Pruned:      p.Pruned,
+				BatchSweeps: p.BatchSweeps,
+				BatchLanes:  p.BatchLanes,
+				BestLeakNA:  p.BestLeak,
+				Elapsed:     p.Elapsed,
 			})
 		}
 	}
@@ -284,6 +295,8 @@ func Run(ctx context.Context, req Request, opts RunOptions) (*Result, error) {
 			GateTrials:       sol.Stats.GateTrials,
 			Leaves:           sol.Stats.Leaves,
 			Pruned:           sol.Stats.Pruned,
+			BatchSweeps:      sol.Stats.BatchSweeps,
+			BatchLanes:       sol.Stats.BatchLanes,
 			Runtime:          sol.Stats.Runtime,
 			Interrupted:      sol.Stats.Interrupted,
 			CheckpointWrites: sol.Stats.CheckpointWrites,
