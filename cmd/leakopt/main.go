@@ -92,7 +92,7 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		if err := submit(ctx, *submitURL, req, *csvOut, *emitWrap); err != nil {
+		if err := submit(ctx, *submitURL, req, *csvOut, *emitWrap, *showStats); err != nil {
 			fatal(err)
 		}
 		return

@@ -88,8 +88,9 @@ func dumpRequest(req svto.Request, path string) error {
 
 // submit POSTs the request to a leakoptd instance, polls the job to
 // completion (canceling it server-side if ctx is interrupted), prints the
-// result summary, and downloads any requested artifacts.
-func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitWrap string) error {
+// result summary (plus -stats search counters when showStats is set), and
+// downloads any requested artifacts.
+func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitWrap string, showStats bool) error {
 	baseURL = strings.TrimRight(baseURL, "/")
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -160,6 +161,26 @@ func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitW
 	fmt.Printf("%-12s leak=%8.2f µA%s  Isub=%7.2f µA  delay=%6.0f ps  [%v]%s\n",
 		string(req.Search.Algorithm), res.LeakNA/1000, ratio, res.IsubNA/1000,
 		res.DelayPS, res.Stats.Runtime.Round(time.Millisecond), note)
+	if showStats {
+		// Same shape the local -stats print uses, fed from the daemon's
+		// result document — which in cluster mode carries the counters
+		// merged across every shard.
+		fmt.Printf("             state nodes %d, gate trials %d, leaves %d (cache hits %d), pruned %d\n",
+			res.Stats.StateNodes, res.Stats.GateTrials, res.Stats.Leaves,
+			res.Stats.LeafCacheHits, res.Stats.Pruned)
+		if res.Stats.BatchSweeps > 0 {
+			fmt.Printf("             batch sweeps %d (%.1f lanes/sweep)\n",
+				res.Stats.BatchSweeps, float64(res.Stats.BatchLanes)/float64(res.Stats.BatchSweeps))
+		}
+		if res.Resumed {
+			fmt.Printf("             resumed run: %v of runtime carried from prior run(s)\n",
+				res.PriorRuntime.Round(time.Millisecond))
+		}
+		if res.Stats.CheckpointWrites > 0 || res.Stats.CheckpointErrors > 0 {
+			fmt.Printf("             checkpoint writes %d (errors %d)\n",
+				res.Stats.CheckpointWrites, res.Stats.CheckpointErrors)
+		}
+	}
 	for _, wf := range res.WorkerFailures {
 		fmt.Fprintf(os.Stderr, "leakopt: warning: %s\n", wf)
 	}

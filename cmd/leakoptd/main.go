@@ -13,6 +13,8 @@
 //	DELETE /v1/jobs/{id}                   delete a non-running job and all
 //	                                       its state — record, checkpoint,
 //	                                       artifacts (204; 409 if running)
+//	GET    /v1/stats                       queue depth, running-job search
+//	                                       counters, baseline builds, shards
 //	GET    /healthz                        liveness
 //
 // Jobs are durable: requests and checkpoints live under the state
@@ -20,6 +22,17 @@
 // queued or in flight when the previous process died — gracefully (SIGTERM
 // checkpoints each in-flight search before exiting) or not (SIGKILL; the
 // last periodic snapshot is resumed instead).
+//
+// Cluster mode distributes each tree search across worker processes:
+//
+//	leakoptd -state /var/lib/leakoptd -cluster        # coordinator
+//	leakoptd -shard -coordinator http://host:8080     # worker shard (xN)
+//
+// The coordinator additionally serves the shard wire protocol under
+// /cluster/v1/ and shards jobs only while at least one worker is
+// registered; shards hold no durable state and may be killed freely — the
+// coordinator re-queues their leased tasks.  -debug mounts net/http/pprof
+// under /debug/pprof/.
 package main
 
 import (
@@ -30,11 +43,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"svto/internal/dist"
 	"svto/internal/jobs"
 	"svto/pkg/svto"
 )
@@ -45,18 +60,49 @@ func main() {
 		state    = flag.String("state", "", "state directory for durable jobs (required)")
 		queue    = flag.Int("queue", 64, "max queued jobs before submissions are rejected")
 		conc     = flag.Int("jobs", 2, "jobs executing concurrently")
-		workers  = flag.Int("job-workers", 1, "per-job search worker cap (1 = deterministic)")
+		workers  = flag.Int("job-workers", 1, "per-job search worker cap (1 = deterministic); in -shard mode, this shard's local worker cap")
 		maxTime  = flag.Duration("max-time", 15*time.Minute, "per-job search time cap")
 		maxLeaf  = flag.Int64("max-leaves", 0, "per-job leaf budget cap (0 = uncapped)")
 		interval = flag.Duration("checkpoint-interval", 5*time.Second, "snapshot cadence for tree searches")
+		debug    = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+
+		cluster   = flag.Bool("cluster", false, "coordinator mode: distribute tree searches across registered shards")
+		shardMode = flag.Bool("shard", false, "shard mode: work for a coordinator instead of serving the job API")
+		coordURL  = flag.String("coordinator", "", "coordinator base URL (required with -shard)")
+		shardName = flag.String("shard-name", "", "shard name (default hostname-pid)")
 	)
 	flag.Parse()
+
+	if *shardMode {
+		if *coordURL == "" {
+			fmt.Fprintln(os.Stderr, "leakoptd: -shard requires -coordinator")
+			flag.Usage()
+			os.Exit(2)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := dist.RunShard(ctx, dist.ShardConfig{
+			Coordinator: *coordURL,
+			Name:        *shardName,
+			Workers:     *workers,
+			Logf:        log.Printf,
+		}); err != nil {
+			log.Fatalf("leakoptd: %v", err)
+		}
+		log.Print("leakoptd: shard stopped, bye")
+		return
+	}
+
 	if *state == "" {
 		fmt.Fprintln(os.Stderr, "leakoptd: -state is required")
 		flag.Usage()
 		os.Exit(2)
 	}
 
+	var coord *dist.Coordinator
+	if *cluster {
+		coord = dist.New(dist.Config{Logf: log.Printf})
+	}
 	mgr, err := jobs.Open(jobs.Config{
 		StateDir:           *state,
 		QueueSize:          *queue,
@@ -65,6 +111,7 @@ func main() {
 		MaxTimeLimit:       *maxTime,
 		MaxLeaves:          *maxLeaf,
 		CheckpointInterval: *interval,
+		Cluster:            coord,
 	})
 	if err != nil {
 		log.Fatalf("leakoptd: %v", err)
@@ -73,7 +120,7 @@ func main() {
 		log.Printf("leakoptd: %d orphan snapshot(s) in state dir: %v", len(orphans), orphans)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(mgr)}
+	srv := &http.Server{Addr: *addr, Handler: newHandler(mgr, coord, *debug)}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -97,13 +144,29 @@ func main() {
 }
 
 // newHandler wires the job API onto a mux; separated from main so tests
-// can serve a Manager through httptest.
-func newHandler(mgr *jobs.Manager) http.Handler {
+// can serve a Manager through httptest.  coord (coordinator mode) mounts
+// the shard wire protocol; debug mounts pprof.
+func newHandler(mgr *jobs.Manager, coord *dist.Coordinator, debug bool) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, mgr.Stats())
+	})
+
+	if coord != nil {
+		mux.Handle(dist.APIPrefix+"/", coord.Handler())
+	}
+	if debug {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req svto.Request

@@ -80,6 +80,18 @@ type sharedSearch struct {
 	baseline     *sta.State
 	baselineOnce sync.Once
 	baselineErr  error
+
+	// share couples this search to an external incumbent (cluster mode):
+	// local improvements publish outward after installing, and external
+	// improvements install through installExternal without re-publishing.
+	// shareID is this search's subscriber id, excluded from its own
+	// publications so a broadcast never loops back.
+	share   *SharedIncumbent
+	shareID int
+
+	// pool is the task pool of the most recent runPool call, kept so
+	// SolveTasks can report the unexplored remainder after an interrupt.
+	pool *taskPool
 }
 
 // newSharedSearch seeds the incumbent with Heuristic 1's solution (the
@@ -128,7 +140,14 @@ func (sh *sharedSearch) incumbentLeak() float64 {
 // so other workers prune against it immediately.  Equal-objective solutions
 // tie-break on total leakage so reported numbers stay deterministic under
 // ObjIsubOnly (where many choices can share an Isub value).
-func (sh *sharedSearch) offer(sol *Solution) {
+func (sh *sharedSearch) offer(sol *Solution) { sh.install(sol, true) }
+
+// installExternal is offer for solutions arriving from the shared external
+// incumbent: identical installation, but no re-publication (the share
+// already knows — re-offering would bounce the broadcast back).
+func (sh *sharedSearch) installExternal(sol *Solution) { sh.install(sol, false) }
+
+func (sh *sharedSearch) install(sol *Solution, publish bool) {
 	obj := sh.p.objValue(sol)
 	for {
 		cur := sh.bestBits.Load()
@@ -145,11 +164,19 @@ func (sh *sharedSearch) offer(sol *Solution) {
 		}
 	}
 	sh.mu.Lock()
+	installed := false
 	if best := sh.best; best == nil || obj < sh.p.objValue(best) ||
 		(obj == sh.p.objValue(best) && sol.Leak < best.Leak) {
 		sh.best = sol
+		installed = true
 	}
 	sh.mu.Unlock()
+	// Publish outside sh.mu: the share runs subscriber callbacks, and a
+	// callback taking another search's locks under ours would order locks
+	// inconsistently across searches.
+	if installed && publish && sh.share != nil {
+		sh.share.OfferFrom(sh.shareID, sol)
+	}
 }
 
 // offerLeaf is offer for the allocation-free leaf paths: the caller hands
@@ -178,11 +205,11 @@ func (sh *sharedSearch) offerLeaf(state []bool, choices []*library.Choice, leak,
 			break
 		}
 	}
+	var sol *Solution
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
 	if best := sh.best; best == nil || obj < sh.p.objValue(best) ||
 		(obj == sh.p.objValue(best) && leak < best.Leak) {
-		sol := &Solution{
+		sol = &Solution{
 			State:   append([]bool(nil), state...),
 			Choices: append([]*library.Choice(nil), choices...),
 			Leak:    leak,
@@ -190,9 +217,13 @@ func (sh *sharedSearch) offerLeaf(state []bool, choices []*library.Choice, leak,
 			Delay:   delay,
 		}
 		sh.best = sol
-		return sol
 	}
-	return nil
+	sh.mu.Unlock()
+	// See install: publication must happen outside sh.mu.
+	if sol != nil && sh.share != nil {
+		sh.share.OfferFrom(sh.shareID, sol)
+	}
+	return sol
 }
 
 func (sh *sharedSearch) markInterrupted() {
@@ -803,6 +834,7 @@ func (sh *sharedSearch) runPool(opt Options, rs *resumeState) error {
 		}
 	}
 	tp := newTaskPool(tasks)
+	sh.pool = tp
 
 	// The checkpoint ticker runs for the duration of the drain; the final
 	// write (or removal) below happens only after it has stopped, so two

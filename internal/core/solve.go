@@ -122,6 +122,13 @@ type Options struct {
 	// Checkpoint enables crash-safe snapshotting and resume for the tree
 	// searches; see CheckpointOptions.
 	Checkpoint CheckpointOptions
+	// Share, when non-nil, couples the tree searches to an external
+	// incumbent: improvements found here publish into it, and improvements
+	// arriving from elsewhere (other searches, other processes) tighten
+	// this search's pruning bound mid-descent.  The coupling is monotone
+	// both ways, so it never changes which solution is optimal — only how
+	// fast bad subtrees are cut.
+	Share *SharedIncumbent
 }
 
 // Solve is the unified entry point of the optimizer: it runs the selected
@@ -288,6 +295,10 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, 
 			// The leaf budget was exhausted before the crash.
 			sh.markInterrupted()
 		}
+	}
+	if opt.Share != nil {
+		sh.attachShare(opt.Share)
+		defer sh.detachShare()
 	}
 	if sh.cache != nil && opt.Algorithm == AlgHeuristic2 && rs == nil {
 		// The DFS re-reaches the seed's input state; memoize its greedy

@@ -1,0 +1,93 @@
+package dist
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"svto/pkg/svto"
+)
+
+// distBench is the machine-readable record TestBenchTrajectory emits: the
+// CI benchmark smoke reads it, and a locally generated copy is committed as
+// BENCH_dist.json.
+type distBench struct {
+	Design string `json:"design"`
+	Inputs int    `json:"inputs"`
+	Gates  int    `json:"gates"`
+	// CPUs is GOMAXPROCS at measurement time: on a single-core machine the
+	// two shard processes serialize and the speedup column reflects only
+	// pipeline overlap, not parallelism.
+	CPUs         int     `json:"cpus"`
+	Leaves       int64   `json:"leaves"`
+	OneShardSec  float64 `json:"one_shard_sec"`
+	TwoShardSec  float64 `json:"two_shard_sec"`
+	Speedup      float64 `json:"speedup"`
+	NsPerLeaf    float64 `json:"ns_per_leaf"`
+	LeavesPerSec float64 `json:"leaves_per_sec"`
+}
+
+// TestBenchTrajectory measures the same exhaustive search on one worker
+// shard and on two, and writes the machine-readable comparison to
+// $BENCH_DIST_OUT.  It is skipped unless that variable is set: it is a
+// benchmark wearing a test harness (so it can drive the full cluster
+// stack), not a correctness gate.
+func TestBenchTrajectory(t *testing.T) {
+	out := os.Getenv("BENCH_DIST_OUT")
+	if out == "" {
+		t.Skip("set BENCH_DIST_OUT=<path> to run the distribution benchmark")
+	}
+	const inputs, gates = 14, 150
+	req := treeRequest(t, "distbench", 7, inputs, gates)
+
+	measure := func(jobID string, shards int) (time.Duration, *svto.Result) {
+		coord, url := newCluster(t, Config{})
+		for i := 0; i < shards; i++ {
+			startShard(t, url, jobID+"-s"+string(rune('1'+i)), 1)
+		}
+		start := time.Now()
+		res := runCluster(t, coord, jobID, req, RunOptions{})()
+		return time.Since(start), res
+	}
+
+	t1, res1 := measure("bench-1shard", 1)
+	t2, res2 := measure("bench-2shard", 2)
+	if res1.Interrupted || res2.Interrupted {
+		t.Fatalf("benchmark searches interrupted (1-shard %v, 2-shard %v) — raise the time limit",
+			res1.Interrupted, res2.Interrupted)
+	}
+	if res1.LeakNA != res2.LeakNA {
+		t.Errorf("shard counts disagree on the optimum: %.6f vs %.6f", res1.LeakNA, res2.LeakNA)
+	}
+
+	b := distBench{
+		Design:       "distbench",
+		Inputs:       inputs,
+		Gates:        gates,
+		CPUs:         runtime.GOMAXPROCS(0),
+		Leaves:       res1.Stats.Leaves,
+		OneShardSec:  t1.Seconds(),
+		TwoShardSec:  t2.Seconds(),
+		Speedup:      t1.Seconds() / t2.Seconds(),
+		NsPerLeaf:    float64(t1.Nanoseconds()) / float64(res1.Stats.Leaves),
+		LeavesPerSec: float64(res1.Stats.Leaves) / t1.Seconds(),
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("1 shard %.2fs, 2 shards %.2fs: %.2fx speedup (%.0f leaves/s, %.0f ns/leaf)",
+		b.OneShardSec, b.TwoShardSec, b.Speedup, b.LeavesPerSec, b.NsPerLeaf)
+	if b.Speedup < 1.5 {
+		if b.CPUs < 2 {
+			t.Logf("note: %d CPU visible — the 1.5x speedup target needs at least 2", b.CPUs)
+		} else {
+			t.Logf("warning: speedup %.2fx below the 1.5x target (loaded machine?)", b.Speedup)
+		}
+	}
+}

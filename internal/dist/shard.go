@@ -1,0 +1,450 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"svto/internal/core"
+	"svto/internal/sim"
+	"svto/pkg/svto"
+)
+
+// ShardConfig configures one worker shard process.
+type ShardConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	Coordinator string
+	// Name identifies this shard; defaults to hostname/pid.
+	Name string
+	// Workers is the local search width per batch; 0 adopts the job's own
+	// worker setting (falling back to GOMAXPROCS inside the engine).
+	Workers int
+	// MaxLeaseTasks caps the batch size this shard requests (0 = the
+	// coordinator decides).
+	MaxLeaseTasks int
+	// PollInterval is the idle cadence (no job, or all tasks leased
+	// elsewhere); 0 defaults to 500ms.
+	PollInterval time.Duration
+	// SyncInterval is the heartbeat / incumbent-exchange cadence while a
+	// batch runs; 0 defaults to 200ms.
+	SyncInterval time.Duration
+	// Client overrides the HTTP client.
+	Client *http.Client
+	// Logf, when non-nil, receives shard diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// RunShard joins the coordinator and processes leased task batches until
+// the context cancels: register, poll for a job, then lease → SolveTasks →
+// complete in a loop, with a background sync pump exchanging incumbents
+// both ways while each batch runs.  A shard holds no durable state — if it
+// dies, its leases expire at the coordinator and the tasks are re-queued.
+func RunShard(ctx context.Context, cfg ShardConfig) error {
+	if cfg.Coordinator == "" {
+		return fmt.Errorf("dist: shard needs a coordinator URL")
+	}
+	if cfg.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "shard"
+		}
+		cfg.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 500 * time.Millisecond
+	}
+	if cfg.SyncInterval <= 0 {
+		cfg.SyncInterval = 200 * time.Millisecond
+	}
+	s := &shard{
+		cfg:       cfg,
+		cl:        &client{base: strings.TrimRight(cfg.Coordinator, "/") + APIPrefix, http: cfg.Client},
+		baselines: make(map[string]*svto.Baseline),
+	}
+	if s.cl.http == nil {
+		s.cl.http = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	for {
+		err := s.cl.post(ctx, "/register", RegisterRequest{Shard: cfg.Name, Workers: cfg.Workers}, nil)
+		if err == nil {
+			break
+		}
+		s.logf("dist: shard %s: register: %v", cfg.Name, err)
+		if !sleepCtx(ctx, cfg.PollInterval) {
+			return nil
+		}
+	}
+	s.logf("dist: shard %s: registered with %s", cfg.Name, cfg.Coordinator)
+
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		var info JobInfo
+		status, err := s.cl.get(ctx, "/job?shard="+url.QueryEscape(cfg.Name), &info)
+		switch {
+		case err != nil:
+			s.logf("dist: shard %s: poll: %v", cfg.Name, err)
+		case status == http.StatusNoContent:
+			// idle
+		case status == http.StatusOK:
+			s.runJob(ctx, info)
+			continue // immediately look for the next job
+		}
+		if !sleepCtx(ctx, cfg.PollInterval) {
+			return nil
+		}
+	}
+}
+
+type shard struct {
+	cfg       ShardConfig
+	cl        *client
+	baselines map[string]*svto.Baseline // keyed by LibrarySpec.Key
+}
+
+func (s *shard) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// baseline characterizes (once per library policy) the standby library, so
+// consecutive jobs on the same technology skip re-characterization — the
+// same sharing the daemon's job manager does.
+func (s *shard) baseline(spec svto.LibrarySpec) (*svto.Baseline, error) {
+	if b := s.baselines[spec.Key()]; b != nil {
+		return b, nil
+	}
+	b, err := svto.NewBaseline(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.baselines[spec.Key()] = b
+	return b, nil
+}
+
+// runJob drains one job's leases until the coordinator reports it done (or
+// gone, or the context cancels).
+func (s *shard) runJob(ctx context.Context, info JobInfo) {
+	base, err := s.baseline(info.Request.Library)
+	if err != nil {
+		s.logf("dist: shard %s: job %s: baseline: %v", s.cfg.Name, info.JobID, err)
+		sleepCtx(ctx, s.cfg.PollInterval)
+		return
+	}
+	comp, err := svto.Compile(info.Request, base)
+	if err != nil {
+		s.logf("dist: shard %s: job %s: compile: %v", s.cfg.Name, info.JobID, err)
+		sleepCtx(ctx, s.cfg.PollInterval)
+		return
+	}
+	coreOpt, err := comp.CoreOptions(info.Request)
+	if err != nil {
+		s.logf("dist: shard %s: job %s: options: %v", s.cfg.Name, info.JobID, err)
+		sleepCtx(ctx, s.cfg.PollInterval)
+		return
+	}
+	// The fingerprint handshake: both processes hash the problem they
+	// compiled; a mismatch means a library, technology or version skew and
+	// any exchanged task would explore the wrong space.
+	if got := comp.Prob.SearchFingerprint(coreOpt); got != info.Fingerprint {
+		s.logf("dist: shard %s: job %s: fingerprint mismatch (coordinator %016x, local %016x); refusing job",
+			s.cfg.Name, info.JobID, info.Fingerprint, got)
+		sleepCtx(ctx, s.cfg.PollInterval)
+		return
+	}
+
+	workers := s.cfg.Workers
+	if info.Workers > 0 && (workers <= 0 || info.Workers < workers) {
+		workers = info.Workers
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	share := core.NewSharedIncumbent(comp.Prob)
+	pump := s.startPump(jobCtx, cancel, comp.Prob, share, info.JobID)
+	defer pump.stop()
+
+	for {
+		if jobCtx.Err() != nil {
+			return
+		}
+		var lr LeaseReply
+		status, err := s.cl.postStatus(jobCtx, "/lease",
+			LeaseRequest{Shard: s.cfg.Name, JobID: info.JobID, Max: s.cfg.MaxLeaseTasks}, &lr)
+		if err != nil {
+			if status == http.StatusNotFound {
+				return // job finished and was torn down
+			}
+			s.logf("dist: shard %s: job %s: lease: %v", s.cfg.Name, info.JobID, err)
+			if !sleepCtx(jobCtx, s.cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		if lr.Done {
+			return
+		}
+		if lr.Incumbent != nil {
+			if sol, rerr := lr.Incumbent.resolve(comp.Prob); rerr == nil {
+				share.Offer(sol)
+			} else {
+				s.logf("dist: shard %s: job %s: lease incumbent: %v", s.cfg.Name, info.JobID, rerr)
+			}
+		}
+		pump.observe(lr.Epoch)
+		if lr.Wait {
+			if !sleepCtx(jobCtx, s.cfg.PollInterval) {
+				return
+			}
+			continue
+		}
+		s.runBatch(jobCtx, comp, coreOpt, workers, share, info, lr)
+	}
+}
+
+// runBatch solves one leased batch and reports it.
+func (s *shard) runBatch(ctx context.Context, comp *svto.Compiled, coreOpt core.Options,
+	workers int, share *core.SharedIncumbent, info JobInfo, lr LeaseReply) {
+	nPI := len(comp.Prob.CC.PI)
+	tasks := make([][]sim.Value, 0, len(lr.Tasks))
+	taskID := make(map[string]int64, len(lr.Tasks))
+	for i, b := range lr.Tasks {
+		t, err := decodeTask(b, nPI)
+		if err != nil || i >= len(lr.TaskIDs) {
+			s.logf("dist: shard %s: job %s: bad task in lease %d: %v", s.cfg.Name, info.JobID, lr.LeaseID, err)
+			return
+		}
+		tasks = append(tasks, t)
+		taskID[string(b)] = lr.TaskIDs[i]
+	}
+
+	seed := share.Best()
+	if seed == nil {
+		// The coordinator sends its incumbent with every lease, so this
+		// only happens if that encode failed; try once via sync.
+		s.logf("dist: shard %s: job %s: no incumbent with lease %d, skipping batch", s.cfg.Name, info.JobID, lr.LeaseID)
+		sleepCtx(ctx, s.cfg.PollInterval)
+		return
+	}
+	zero := *seed
+	zero.Stats = core.SearchStats{}
+
+	opt := core.Options{
+		Algorithm:  coreOpt.Algorithm,
+		Penalty:    coreOpt.Penalty,
+		Workers:    workers,
+		SplitDepth: info.SplitDepth,
+		MaxLeaves:  lr.MaxLeaves,
+		Share:      share,
+	}
+	tr, serr := comp.Prob.SolveTasks(ctx, opt, &zero, tasks)
+
+	creq := CompleteRequest{Shard: s.cfg.Name, JobID: info.JobID, LeaseID: lr.LeaseID}
+	if serr != nil {
+		creq.Failure = serr.Error()
+	}
+	if tr == nil {
+		// Infrastructure failure before any work: everything remains.
+		creq.Remaining = lr.TaskIDs
+	} else {
+		creq.Stats = deltaFromStats(tr.Best.Stats)
+		creq.LeavesUsed = tr.LeavesUsed
+		for _, t := range tr.Remaining {
+			id, ok := taskID[string(encodeTask(t))]
+			if !ok {
+				s.logf("dist: shard %s: job %s: unknown remaining task in lease %d", s.cfg.Name, info.JobID, lr.LeaseID)
+				continue
+			}
+			creq.Remaining = append(creq.Remaining, id)
+		}
+	}
+	if best := share.Best(); best != nil {
+		if w, werr := wireIncumbent(comp.Prob, best); werr == nil {
+			creq.Incumbent = w
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		status, err := s.cl.postStatus(ctx, "/complete", creq, nil)
+		if err == nil || status == http.StatusNotFound || attempt >= 2 {
+			if err != nil && status != http.StatusNotFound {
+				// The lease TTL re-queues the batch; our stats are lost
+				// but another shard's re-run recounts them.
+				s.logf("dist: shard %s: job %s: complete lease %d failed, coordinator will re-queue: %v",
+					s.cfg.Name, info.JobID, lr.LeaseID, err)
+			}
+			break
+		}
+		if !sleepCtx(ctx, s.cfg.PollInterval) {
+			break
+		}
+	}
+	if serr != nil {
+		s.logf("dist: shard %s: job %s: batch error: %v", s.cfg.Name, info.JobID, serr)
+		sleepCtx(ctx, s.cfg.PollInterval)
+	}
+}
+
+// pump is the background sync loop of one job: heartbeat, push local
+// incumbent improvements, pull remote ones.  It cancels the job context
+// when the coordinator reports the job done or gone.
+type pump struct {
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	wg       sync.WaitGroup
+	epochMu  sync.Mutex
+	remote   int64 // last coordinator epoch observed anywhere
+}
+
+// observe records a coordinator epoch learned outside the pump (from a
+// lease reply), so the next sync does not re-fetch an incumbent the shard
+// already has.
+func (p *pump) observe(epoch int64) {
+	p.epochMu.Lock()
+	if epoch > p.remote {
+		p.remote = epoch
+	}
+	p.epochMu.Unlock()
+}
+
+func (p *pump) stop() {
+	p.stopOnce.Do(func() { close(p.stopCh) })
+	p.wg.Wait()
+}
+
+func (s *shard) startPump(ctx context.Context, cancel context.CancelFunc,
+	prob *core.Problem, share *core.SharedIncumbent, jobID string) *pump {
+	p := &pump{stopCh: make(chan struct{})}
+	notify := make(chan struct{}, 1)
+	subID := share.Subscribe(func(*core.Solution) {
+		select {
+		case notify <- struct{}{}:
+		default:
+		}
+	})
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		defer share.Unsubscribe(subID)
+		t := time.NewTicker(s.cfg.SyncInterval)
+		defer t.Stop()
+		var pushed int64 // local epoch last pushed to the coordinator
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-p.stopCh:
+				return
+			case <-t.C:
+			case <-notify:
+			}
+			local, localEpoch := share.BestEpoch()
+			p.epochMu.Lock()
+			remote := p.remote
+			p.epochMu.Unlock()
+			req := SyncRequest{Shard: s.cfg.Name, JobID: jobID, Epoch: remote}
+			if localEpoch > pushed && local != nil {
+				if w, err := wireIncumbent(prob, local); err == nil {
+					req.Incumbent = w
+					pushed = localEpoch
+				}
+			}
+			var reply SyncReply
+			status, err := s.cl.postStatus(ctx, "/sync", req, &reply)
+			if err != nil {
+				if status == http.StatusNotFound {
+					cancel()
+					return
+				}
+				continue
+			}
+			p.observe(reply.Epoch)
+			if reply.Incumbent != nil {
+				if sol, rerr := reply.Incumbent.resolve(prob); rerr == nil {
+					// Attribute the install to this subscriber so the pump
+					// is not re-woken by its own merge.
+					share.OfferFrom(subID, sol)
+				}
+			}
+			if reply.Done {
+				cancel()
+				return
+			}
+		}
+	}()
+	return p
+}
+
+// sleepCtx sleeps d or until ctx cancels; reports whether ctx is still
+// live.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return ctx.Err() == nil
+	}
+}
+
+// client is a minimal JSON-over-HTTP client for the wire protocol.
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(ctx context.Context, path string, in, out any) error {
+	_, err := c.postStatus(ctx, path, in, out)
+	return err
+}
+
+func (c *client) postStatus(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *client) get(ctx context.Context, path string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return 0, err
+	}
+	return c.do(req, out)
+}
+
+func (c *client) do(req *http.Request, out any) (int, error) {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return resp.StatusCode, fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil
+	}
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,227 @@
+// Package dist runs one branch-and-bound search across processes: a
+// coordinator expands the root frontier into 3-valued subtree task vectors
+// (the same unit the checkpoint format persists), leases task batches to
+// worker shards over HTTP, steals work back from loaded shards when others
+// drain, and merges incumbents monotonically so late, duplicate or crossing
+// broadcasts are harmless.
+//
+// The split of responsibilities mirrors the in-process pool engine:
+//
+//   - the coordinator owns the task pool (pending/leased/done), the
+//     aggregated counters, the leaf/time budgets and the checkpoint file —
+//     exactly the state internal/core's taskPool plus sharedSearch own
+//     locally;
+//   - each shard owns nothing durable: it drains leased batches with
+//     core.SolveTasks and reports a stats delta plus its unfinished
+//     remainder, so a shard dying mid-batch costs only a lease re-queue.
+//
+// Determinism contract: with one shard and Workers=1 the grant order is the
+// frontier order, every batch continues from the previous batch's
+// incumbent, and artifacts are built by the same svto.Compiled.BuildResult
+// a local run uses — so a 1-shard cluster run is byte-identical to a local
+// run (enforced by TestClusterOneShardMatchesLocal).
+package dist
+
+import (
+	"fmt"
+
+	"svto/internal/checkpoint"
+	"svto/internal/core"
+	"svto/internal/sim"
+	"svto/pkg/svto"
+)
+
+// APIPrefix is the path prefix of every cluster endpoint; Coordinator
+// .Handler serves under it so the daemon can mount it next to /v1/jobs.
+const APIPrefix = "/cluster/v1"
+
+// RegisterRequest announces a shard to the coordinator.  Registration is
+// idempotent and doubles as a liveness signal — any request from a shard
+// refreshes its last-seen time, and a shard silent for longer than the
+// lease TTL has its leased tasks re-queued.
+type RegisterRequest struct {
+	Shard   string `json:"shard"`
+	Workers int    `json:"workers"` // search workers this shard contributes
+}
+
+// JobInfo describes a job a shard should compile and join.  The shard
+// re-derives the identical problem from Request and must verify its
+// SearchFingerprint against Fingerprint before leasing tasks, so a version
+// or library skew between processes is caught before any work is exchanged.
+type JobInfo struct {
+	JobID       string       `json:"job_id"`
+	Request     svto.Request `json:"request"`
+	SplitDepth  int          `json:"split_depth"`
+	Fingerprint uint64       `json:"fingerprint"`
+	// Workers is the per-shard worker cap from the request (0 = shard
+	// decides from its own configuration).
+	Workers int `json:"workers,omitempty"`
+}
+
+// LeaseRequest asks for a batch of tasks.
+type LeaseRequest struct {
+	Shard string `json:"shard"`
+	JobID string `json:"job_id"`
+	// Max caps the batch size (0 = coordinator decides).
+	Max int `json:"max,omitempty"`
+}
+
+// LeaseReply grants a batch (or tells the shard to wait / stop).  Tasks are
+// frontier vectors in checkpoint byte encoding: one byte per primary input,
+// 0 = forced false, 1 = forced true, 2 = unassigned.
+type LeaseReply struct {
+	LeaseID int64    `json:"lease_id,omitempty"`
+	TaskIDs []int64  `json:"task_ids,omitempty"`
+	Tasks   [][]byte `json:"tasks,omitempty"`
+	// MaxLeaves is the remaining leaf budget the batch must respect
+	// (0 = unlimited).
+	MaxLeaves int64          `json:"max_leaves,omitempty"`
+	Incumbent *WireIncumbent `json:"incumbent,omitempty"`
+	Epoch     int64          `json:"epoch,omitempty"`
+	// Wait reports nothing to lease right now (all tasks leased elsewhere
+	// and nothing stealable): poll again shortly.
+	Wait bool `json:"wait,omitempty"`
+	// Done reports the job has finished (or exhausted its budget): stop.
+	Done bool `json:"done,omitempty"`
+}
+
+// StatsDelta carries one batch's search-counter increments.  Deltas follow
+// the engine's mark/rollback rule — a task's counters are included only if
+// the task finished — so the coordinator can sum deltas from completed
+// batches without double counting re-queued work.
+type StatsDelta struct {
+	StateNodes    int64 `json:"state_nodes,omitempty"`
+	GateTrials    int64 `json:"gate_trials,omitempty"`
+	Leaves        int64 `json:"leaves,omitempty"`
+	Pruned        int64 `json:"pruned,omitempty"`
+	LeafCacheHits int64 `json:"leaf_cache_hits,omitempty"`
+	BatchSweeps   int64 `json:"batch_sweeps,omitempty"`
+	BatchLanes    int64 `json:"batch_lanes,omitempty"`
+}
+
+func deltaFromStats(s core.SearchStats) StatsDelta {
+	return StatsDelta{
+		StateNodes:    s.StateNodes,
+		GateTrials:    s.GateTrials,
+		Leaves:        s.Leaves,
+		Pruned:        s.Pruned,
+		LeafCacheHits: s.LeafCacheHits,
+		BatchSweeps:   s.BatchSweeps,
+		BatchLanes:    s.BatchLanes,
+	}
+}
+
+func (d StatsDelta) addTo(s *checkpoint.Stats) {
+	s.StateNodes += d.StateNodes
+	s.GateTrials += d.GateTrials
+	s.Leaves += d.Leaves
+	s.Pruned += d.Pruned
+	s.LeafCacheHits += d.LeafCacheHits
+	s.BatchSweeps += d.BatchSweeps
+	s.BatchLanes += d.BatchLanes
+}
+
+// CompleteRequest reports a drained (or interrupted) lease.  Remaining
+// lists the task ids the shard did not finish — the coordinator re-queues
+// them — and Stats covers exactly the finished ones.  A completion for an
+// already-expired lease is accepted but credited nothing except its
+// incumbent: monotonicity makes the late merge harmless.
+type CompleteRequest struct {
+	Shard     string     `json:"shard"`
+	JobID     string     `json:"job_id"`
+	LeaseID   int64      `json:"lease_id"`
+	Remaining []int64    `json:"remaining,omitempty"`
+	Stats     StatsDelta `json:"stats"`
+	// LeavesUsed is the batch's leaf-budget tickets (core.TaskResult
+	// .LeavesUsed): unlike Stats.Leaves it includes rolled-back work, and
+	// the coordinator charges the leaf budget with it so interrupted
+	// batches still make budget progress.
+	LeavesUsed int64          `json:"leaves_used,omitempty"`
+	Incumbent  *WireIncumbent `json:"incumbent,omitempty"`
+	// Failure carries a shard-side infrastructure error (e.g. all local
+	// workers died); the coordinator records it as a worker failure.
+	Failure string `json:"failure,omitempty"`
+}
+
+// SyncRequest is the combined heartbeat / incumbent-exchange message a
+// shard sends every few hundred milliseconds while it works: it pushes the
+// shard's incumbent when it improved and tells the coordinator the last
+// epoch the shard has seen.
+type SyncRequest struct {
+	Shard     string         `json:"shard"`
+	JobID     string         `json:"job_id"`
+	Epoch     int64          `json:"epoch"`
+	Incumbent *WireIncumbent `json:"incumbent,omitempty"`
+}
+
+// SyncReply returns the coordinator's incumbent iff it is newer than the
+// epoch the shard reported, so steady-state heartbeats carry no payload.
+type SyncReply struct {
+	Epoch     int64          `json:"epoch"`
+	Incumbent *WireIncumbent `json:"incumbent,omitempty"`
+	Done      bool           `json:"done,omitempty"`
+}
+
+// WireIncumbent is a solution in pointer-free form: the sleep state plus
+// (instance state, index) choice coordinates, exactly the checkpoint
+// incumbent encoding.  The receiver re-resolves the coordinates against its
+// own library and cross-checks the recorded leakage, so a corrupted or
+// mismatched broadcast is rejected instead of installed.
+type WireIncumbent struct {
+	State   []bool     `json:"state"`
+	Choices [][2]int32 `json:"choices"`
+	LeakNA  float64    `json:"leak_na"`
+	IsubNA  float64    `json:"isub_na"`
+	DelayPS float64    `json:"delay_ps"`
+}
+
+// wireIncumbent serializes sol for the wire.
+func wireIncumbent(p *core.Problem, sol *core.Solution) (*WireIncumbent, error) {
+	if sol == nil {
+		return nil, nil
+	}
+	coords, err := p.IncumbentCoords(sol)
+	if err != nil {
+		return nil, err
+	}
+	return &WireIncumbent{
+		State:   append([]bool(nil), sol.State...),
+		Choices: coords,
+		LeakNA:  sol.Leak,
+		IsubNA:  sol.Isub,
+		DelayPS: sol.Delay,
+	}, nil
+}
+
+// resolve validates and re-materializes the incumbent against p.
+func (w *WireIncumbent) resolve(p *core.Problem) (*core.Solution, error) {
+	if w == nil {
+		return nil, nil
+	}
+	return p.ResolveIncumbent(w.State, w.Choices, w.LeakNA, w.IsubNA, w.DelayPS)
+}
+
+// encodeTask converts a task vector to the wire/checkpoint byte encoding.
+func encodeTask(t []sim.Value) []byte {
+	b := make([]byte, len(t))
+	for i, v := range t {
+		b[i] = byte(v)
+	}
+	return b
+}
+
+// decodeTask is the inverse; n is the expected vector length (the number of
+// primary inputs).
+func decodeTask(b []byte, n int) ([]sim.Value, error) {
+	if len(b) != n {
+		return nil, fmt.Errorf("dist: task has %d values, circuit has %d inputs", len(b), n)
+	}
+	t := make([]sim.Value, len(b))
+	for i, v := range b {
+		if v > byte(sim.X) {
+			return nil, fmt.Errorf("dist: task holds invalid value %d", v)
+		}
+		t[i] = sim.Value(v)
+	}
+	return t, nil
+}

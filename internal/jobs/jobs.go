@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"svto/internal/checkpoint"
+	"svto/internal/dist"
 	"svto/pkg/svto"
 )
 
@@ -100,6 +101,12 @@ type Config struct {
 	// CheckpointInterval is the periodic snapshot cadence for tree
 	// searches (default 5s).
 	CheckpointInterval time.Duration
+	// Cluster, when non-nil, routes tree-search jobs through the attached
+	// cluster coordinator whenever it has live worker shards; jobs still
+	// run in-process while no shard is registered.  Local and distributed
+	// execution share each job's checkpoint file and fingerprint, so a job
+	// interrupted in one mode resumes in the other.
+	Cluster *dist.Coordinator
 }
 
 func (c Config) withDefaults() Config {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"svto/internal/core"
+	"svto/internal/dist"
 	"svto/pkg/svto"
 )
 
@@ -82,14 +83,29 @@ func (m *Manager) execute(ctx context.Context, j *job) (*svto.Result, error) {
 			Resume: true,
 		}
 	}
-	res, err := svto.Run(ctx, req, opts)
+	// A tree search routes through the cluster coordinator when one is
+	// attached and has live shards; otherwise (and for the one-pass
+	// heuristics) it runs in-process.  Both paths share the job's
+	// checkpoint file and fingerprint, so an interrupted job resumes in
+	// whichever mode the daemon is in when it restarts.
+	run := func() (*svto.Result, error) {
+		if m.cfg.Cluster != nil && m.cfg.Cluster.Ready() && opts.Checkpoint.Path != "" {
+			return m.cfg.Cluster.Run(ctx, j.rec.ID, req, dist.RunOptions{
+				Baseline:   opts.Baseline,
+				Progress:   opts.Progress,
+				Checkpoint: opts.Checkpoint,
+			})
+		}
+		return svto.Run(ctx, req, opts)
+	}
+	res, err := run()
 	if err != nil && errors.Is(err, core.ErrCheckpointMismatch) && opts.Checkpoint.Path != "" {
 		// The adopted snapshot belongs to a different (circuit, library,
 		// options) fingerprint — stale state, not a bad request.  Drop the
 		// snapshot and rerun from scratch with the budget intact instead
 		// of failing the job permanently.
 		os.Remove(opts.Checkpoint.Path)
-		res, err = svto.Run(ctx, req, opts)
+		res, err = run()
 	}
 	return res, err
 }

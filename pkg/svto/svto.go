@@ -33,8 +33,6 @@ import (
 	"svto/internal/core"
 	"svto/internal/library"
 	"svto/internal/netlist"
-	"svto/internal/sta"
-	"svto/internal/techmap"
 )
 
 // Algorithm names a search strategy.
@@ -75,6 +73,9 @@ type Progress struct {
 	GateTrials int64 `json:"gate_trials"` // gate-tree version trials
 	Leaves     int64 `json:"leaves"`      // complete states evaluated
 	Pruned     int64 `json:"pruned"`      // branches cut by the leakage bound
+	// LeafCacheHits counts leaves answered from the gate-state-vector
+	// memoization instead of a fresh gate-tree descent.
+	LeafCacheHits int64 `json:"leaf_cache_hits,omitempty"`
 	// BatchSweeps counts 64-lane batched bound sweeps and BatchLanes the
 	// probe lanes they retired; BatchLanes/BatchSweeps is the mean lane
 	// occupancy of the batched evaluator.
@@ -128,6 +129,8 @@ type Stats struct {
 	GateTrials int64 `json:"gate_trials"`
 	Leaves     int64 `json:"leaves"`
 	Pruned     int64 `json:"pruned"`
+	// LeafCacheHits counts leaves answered from the leaf-dedup cache.
+	LeafCacheHits int64 `json:"leaf_cache_hits,omitempty"`
 	// BatchSweeps / BatchLanes instrument the 64-lane batched bound
 	// evaluator (zero when it is disabled).
 	BatchSweeps int64         `json:"batch_sweeps,omitempty"`
@@ -209,42 +212,13 @@ func (r *Result) ReductionX() float64 {
 // Callers that only check err will never use a silently degraded result;
 // callers that want the partial answer can keep it.
 func Run(ctx context.Context, req Request, opts RunOptions) (*Result, error) {
-	circ, err := req.Design.load()
+	comp, err := Compile(req, opts.Baseline)
 	if err != nil {
 		return nil, err
 	}
-	if !isMapped(circ) {
-		if circ, err = techmap.Map(circ); err != nil {
-			return nil, fmt.Errorf("svto: technology mapping: %w", err)
-		}
-	}
-	if req.Design.Fuse {
-		if circ, err = techmap.Optimize(circ); err != nil {
-			return nil, fmt.Errorf("svto: fusion pass: %w", err)
-		}
-	}
-
-	lib, err := libraryFor(req, opts.Baseline)
+	coreOpts, err := comp.CoreOptions(req)
 	if err != nil {
 		return nil, err
-	}
-	prob, err := core.NewProblem(circ, lib, sta.DefaultConfig(), core.ObjTotal)
-	if err != nil {
-		return nil, err
-	}
-
-	alg, err := coreAlgorithm(req.Search.Algorithm)
-	if err != nil {
-		return nil, err
-	}
-	coreOpts := core.Options{
-		Algorithm:    alg,
-		Penalty:      req.Search.Penalty,
-		TimeLimit:    req.Search.TimeLimit(),
-		Workers:      req.Search.Workers,
-		Seed:         req.Search.Seed,
-		MaxLeaves:    req.Search.MaxLeaves,
-		RefinePasses: req.Search.RefinePasses,
 	}
 	if opts.Checkpoint.Path != "" || opts.Checkpoint.Resume {
 		interval := opts.Checkpoint.Interval
@@ -258,80 +232,15 @@ func Run(ctx context.Context, req Request, opts RunOptions) (*Result, error) {
 		}
 	}
 	if opts.Progress != nil {
-		coreOpts.Progress = func(p core.Progress) {
-			opts.Progress(Progress{
-				StateNodes:  p.StateNodes,
-				GateTrials:  p.GateTrials,
-				Leaves:      p.Leaves,
-				Pruned:      p.Pruned,
-				BatchSweeps: p.BatchSweeps,
-				BatchLanes:  p.BatchLanes,
-				BestLeakNA:  p.BestLeak,
-				Elapsed:     p.Elapsed,
-			})
-		}
+		coreOpts.Progress = func(p core.Progress) { opts.Progress(coreProgress(p)) }
 	}
-	sol, solveErr := prob.Solve(ctx, coreOpts)
+	sol, solveErr := comp.Prob.Solve(ctx, coreOpts)
 	if sol == nil {
 		return nil, solveErr
 	}
-
-	res := &Result{
-		Design:       circ.Name,
-		Inputs:       append([]string(nil), circ.Inputs...),
-		SleepVector:  append([]bool(nil), sol.State...),
-		LeakNA:       sol.Leak,
-		IsubNA:       sol.Isub,
-		IgateNA:      sol.Leak - sol.Isub,
-		DelayPS:      sol.Delay,
-		BudgetPS:     prob.Budget(req.Search.Penalty),
-		DminPS:       prob.Dmin,
-		DmaxPS:       prob.Dmax,
-		Interrupted:  sol.Stats.Interrupted,
-		Resumed:      sol.Stats.Resumed,
-		PriorRuntime: sol.Stats.PriorRuntime,
-		Stats: Stats{
-			StateNodes:       sol.Stats.StateNodes,
-			GateTrials:       sol.Stats.GateTrials,
-			Leaves:           sol.Stats.Leaves,
-			Pruned:           sol.Stats.Pruned,
-			BatchSweeps:      sol.Stats.BatchSweeps,
-			BatchLanes:       sol.Stats.BatchLanes,
-			Runtime:          sol.Stats.Runtime,
-			Interrupted:      sol.Stats.Interrupted,
-			CheckpointWrites: sol.Stats.CheckpointWrites,
-			CheckpointErrors: sol.Stats.CheckpointErrors,
-		},
-		circ: circ,
-		lib:  lib,
-		prob: prob,
-		sol:  sol,
-	}
-	for _, wf := range sol.Stats.WorkerFailures {
-		res.WorkerFailures = append(res.WorkerFailures,
-			fmt.Sprintf("worker %d: %s", wf.Worker, wf.Err))
-	}
-	res.Stats.WorkerFailures = res.WorkerFailures
-	for gi := range prob.CC.Gates {
-		ch := sol.Choices[gi]
-		res.Gates = append(res.Gates, GateAssignment{
-			Gate:    prob.CC.NetName[prob.CC.Gates[gi].Out],
-			Cell:    prob.Timer.Cells[gi].Template.Name,
-			Version: ch.Version.Name,
-			Kind:    ch.Kind.String(),
-			LeakNA:  ch.Leak,
-		})
-	}
-	if req.Search.BaselineVectors > 0 {
-		seed := req.Search.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		avg, err := prob.AverageRandomLeak(seed, req.Search.BaselineVectors)
-		if err != nil {
-			return nil, err
-		}
-		res.BaselineNA = avg
+	res, err := comp.BuildResult(req, sol)
+	if err != nil {
+		return nil, err
 	}
 	return res, solveErr
 }

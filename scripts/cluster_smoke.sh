@@ -1,0 +1,195 @@
+#!/usr/bin/env bash
+# Cluster mode smoke test, three legs sharing one reference run:
+#
+#   ref    - plain (non-cluster) daemon, workers=1: the deterministic
+#            baseline CSV artifact and optimum leakage.
+#   leg 1  - coordinator + 2 worker shards; SIGKILL one shard as soon as
+#            the job's first checkpoint snapshot lands.  The coordinator
+#            must re-queue the dead shard's leases and finish the job on
+#            the survivor, at the same optimum leakage.
+#   leg 2  - coordinator + 1 worker shard; SIGKILL the coordinator on the
+#            first snapshot, restart it on the same state directory.  The
+#            resumed job's CSV must be byte-identical to the reference
+#            (the 1-shard determinism contract).
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+go build -o "$WORK/leakoptd" ./cmd/leakoptd
+go build -o "$WORK/leakopt" ./cmd/leakopt
+go build -o "$WORK/benchgen" ./cmd/benchgen
+
+# A seeded random circuit big enough that the search does not finish
+# before the kills, small enough that the smoke stays fast.
+"$WORK/benchgen" -random smoke:7:14:150 -out "$WORK"
+
+ADDR="127.0.0.1:18090"
+BASE="http://$ADDR"
+DAEMON_PID=""
+SHARD_PIDS=()
+
+start_daemon() {
+    local state="$1" log="$2"
+    shift 2
+    "$WORK/leakoptd" -addr "$ADDR" -state "$state" -jobs 1 -job-workers 1 \
+        -checkpoint-interval 25ms "$@" >"$log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 200); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$log"; echo "FAIL: daemon died on start"; exit 1; }
+        sleep 0.05
+    done
+    echo "FAIL: daemon did not become healthy"; exit 1
+}
+
+start_shard() {
+    local name="$1" log="$2"
+    "$WORK/leakoptd" -shard -coordinator "$BASE" -shard-name "$name" \
+        -job-workers 1 >"$log" 2>&1 &
+    SHARD_PIDS+=($!)
+}
+
+wait_shards() {
+    local want="$1"
+    for _ in $(seq 1 200); do
+        local live
+        live=$(curl -fsS "$BASE/v1/stats" | grep -c '"live": true' || true)
+        [ "$live" -ge "$want" ] && return 0
+        sleep 0.05
+    done
+    echo "FAIL: $want shard(s) never registered"; exit 1
+}
+
+stop_all() {
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    SHARD_PIDS=()
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+trap stop_all EXIT
+
+# The same request for every leg, built by the CLI so the smoke also
+# exercises leakopt's wire-format plumbing.
+"$WORK/leakopt" -in "$WORK/smoke.bench" -method heu2 -heu2sec 120 \
+    -workers 1 -vectors 200 -penalty 5 \
+    -dump-request "$WORK/request.json"
+
+submit() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary @"$WORK/request.json" "$BASE/v1/jobs" \
+        | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1
+}
+
+job_status() {
+    curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/^  "status": "\([a-z]*\)".*/\1/p' | head -1
+}
+
+wait_done() {
+    local id="$1"
+    for _ in $(seq 1 2400); do
+        case "$(job_status "$id")" in
+            done) return 0 ;;
+            failed|canceled) echo "FAIL: job $id $(job_status "$id")"; exit 1 ;;
+        esac
+        sleep 0.05
+    done
+    echo "FAIL: job $id did not finish"; exit 1
+}
+
+# leak_of <result.json>: the top-level optimum leakage line.
+leak_of() {
+    sed -n 's/^  "leak_na": \([0-9.eE+-]*\),*$/\1/p' "$1" | head -1
+}
+
+echo "--- reference run (plain daemon, no cluster)"
+start_daemon "$WORK/ref-state" "$WORK/ref-daemon.log"
+REF_ID=$(submit)
+echo "reference job: $REF_ID"
+wait_done "$REF_ID"
+curl -fsS "$BASE/v1/jobs/$REF_ID/artifacts/csv" -o "$WORK/ref.csv"
+curl -fsS "$BASE/v1/jobs/$REF_ID/artifacts/result" -o "$WORK/ref.json"
+stop_all
+
+echo "--- leg 1: shard death (2 shards, SIGKILL one mid-search)"
+start_daemon "$WORK/kill-state" "$WORK/kill-daemon.log" -cluster
+start_shard victim "$WORK/shard-victim.log"
+start_shard survivor "$WORK/shard-survivor.log"
+wait_shards 2
+JOB_ID=$(submit)
+echo "job: $JOB_ID"
+CKPT="$WORK/kill-state/jobs/$JOB_ID.ckpt"
+KILLED=0
+for _ in $(seq 1 400); do
+    if [ -e "$CKPT" ]; then
+        kill -9 "${SHARD_PIDS[0]}"
+        wait "${SHARD_PIDS[0]}" 2>/dev/null || true
+        SHARD_PIDS[0]=""
+        KILLED=1
+        break
+    fi
+    case "$(job_status "$JOB_ID")" in
+        done|failed|canceled) break ;;
+    esac
+    sleep 0.025
+done
+echo "killed=$KILLED"
+wait_done "$JOB_ID"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/artifacts/result" -o "$WORK/kill.json"
+stop_all
+REF_LEAK=$(leak_of "$WORK/ref.json")
+KILL_LEAK=$(leak_of "$WORK/kill.json")
+echo "optimum leakage: reference=$REF_LEAK shard-death=$KILL_LEAK"
+awk -v a="$REF_LEAK" -v b="$KILL_LEAK" \
+    'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d < 1e-6) }' \
+    || { echo "FAIL: shard-death run missed the reference optimum"; exit 1; }
+
+echo "--- leg 2: coordinator death (1 shard, SIGKILL coordinator on snapshot)"
+start_daemon "$WORK/state" "$WORK/coord1.log" -cluster
+start_shard solo "$WORK/shard-solo.log"
+wait_shards 1
+JOB_ID=$(submit)
+echo "job: $JOB_ID"
+CKPT="$WORK/state/jobs/$JOB_ID.ckpt"
+KILLED=0
+for _ in $(seq 1 400); do
+    if [ -e "$CKPT" ]; then
+        kill -9 "$DAEMON_PID"
+        wait "$DAEMON_PID" 2>/dev/null || true
+        DAEMON_PID=""
+        KILLED=1
+        break
+    fi
+    case "$(job_status "$JOB_ID")" in
+        done|failed|canceled) break ;;
+    esac
+    sleep 0.025
+done
+echo "killed=$KILLED snapshot_present=$([ -e "$CKPT" ] && echo yes || echo no)"
+
+echo "--- restart coordinator (job adopted and resumed)"
+start_daemon "$WORK/state" "$WORK/coord2.log" -cluster
+wait_done "$JOB_ID"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/artifacts/csv" -o "$WORK/resumed.csv"
+if [ "$KILLED" = 1 ]; then
+    curl -fsS "$BASE/v1/jobs/$JOB_ID" | grep -q '"resumed": true' \
+        || { echo "FAIL: resumed job result lacks resume provenance"; exit 1; }
+fi
+stop_all
+
+echo "--- comparing per-gate reports"
+if ! diff -u "$WORK/ref.csv" "$WORK/resumed.csv"; then
+    echo "FAIL: resumed cluster job's CSV differs from the plain daemon run"
+    exit 1
+fi
+echo "PASS: cluster survived a shard kill and a coordinator kill, and matched the local reference"
