@@ -48,9 +48,10 @@ func main() {
 		benchName = flag.String("bench", "", "built-in benchmark name (c432..c7552, alu64)")
 		inFile    = flag.String("in", "", "read an ISCAS .bench netlist instead")
 		penalty   = flag.Float64("penalty", 5, "delay penalty in percent of the max penalty range")
-		method    = flag.String("method", "heu1", "heu1 | heu2 | exact | state-only | vt-state | compare")
+		method    = flag.String("method", "heu1", "heuristic1 | heuristic2 | exact | state-only | vt-state | compare (heu1/heu2 accepted as aliases)")
 		heu2sec   = flag.Float64("heu2sec", 5, "heuristic 2 time budget (seconds)")
 		workers   = flag.Int("workers", 1, "parallel search workers (0 = all CPUs)")
+		portfolio = flag.Bool("portfolio", false, "race stochastic explorer strategies against the tree search (needs -workers > 1)")
 		maxLeaves = flag.Int64("max-leaves", 0, "stop after this many complete states (0 = unlimited)")
 		ckPath    = flag.String("checkpoint", "", "write crash-safe search snapshots to this file (heu2/exact)")
 		ckEvery   = flag.Duration("checkpoint-interval", 30*time.Second, "periodic snapshot cadence for -checkpoint")
@@ -75,12 +76,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// The CLI keeps the historical heu1/heu2 shorthands, but everything past
+	// flag parsing speaks the canonical core.Algorithm.String names — one
+	// parser (core.ParseAlgorithm) for the local flow, -submit and the wire.
+	methodName := normalizeMethod(*method)
+
 	if *submitURL != "" || *dumpReq != "" {
 		if *seqMode || *mcSamples > 0 || *timing || *ckPath != "" || *ckResume {
 			fatal(fmt.Errorf("-submit/-dump-request run the portable job flow; -seq, -mc, -timing and -checkpoint are local-only"))
 		}
-		req, err := buildRequest(*benchName, *inFile, *method, *libOpt, *penalty, *heu2sec,
-			*workers, *maxLeaves, *vectors, *reportTop, *fuse, *emitWrap != "")
+		req, err := buildRequest(*benchName, *inFile, methodName, *libOpt, *penalty, *heu2sec,
+			*workers, *maxLeaves, *vectors, *reportTop, *fuse, *emitWrap != "", *portfolio)
 		if err != nil {
 			fatal(err)
 		}
@@ -98,8 +104,8 @@ func main() {
 		return
 	}
 
-	if (*ckPath != "" || *ckResume) && *method != "heu2" && *method != "exact" {
-		fatal(fmt.Errorf("-checkpoint/-resume require -method heu2 or exact (got %q)", *method))
+	if (*ckPath != "" || *ckResume) && methodName != "heuristic2" && methodName != "exact" {
+		fatal(fmt.Errorf("-checkpoint/-resume require -method heuristic2 or exact (got %q)", *method))
 	}
 	if *ckResume && *ckPath == "" {
 		fatal(fmt.Errorf("-resume requires -checkpoint"))
@@ -283,8 +289,15 @@ func main() {
 			fmt.Printf("             state nodes %d, gate trials %d, leaves %d (cache hits %d), pruned %d\n",
 				sol.Stats.StateNodes, sol.Stats.GateTrials, sol.Stats.Leaves, sol.Stats.LeafCacheHits, sol.Stats.Pruned)
 			if sol.Stats.BatchSweeps > 0 {
-				fmt.Printf("             batch sweeps %d (%.1f lanes/sweep)\n",
-					sol.Stats.BatchSweeps, float64(sol.Stats.BatchLanes)/float64(sol.Stats.BatchSweeps))
+				fmt.Printf("             batch occupancy %.1f lanes/sweep\n",
+					float64(sol.Stats.BatchLanes)/float64(sol.Stats.BatchSweeps))
+			}
+			if sol.Stats.RelaxBounds > 0 {
+				fmt.Printf("             relax probes %d (pruned %d)\n",
+					sol.Stats.RelaxBounds, sol.Stats.RelaxPruned)
+			}
+			if sol.Stats.PortfolioWins > 0 {
+				fmt.Printf("             portfolio wins %d\n", sol.Stats.PortfolioWins)
 			}
 			if sol.Stats.Resumed {
 				fmt.Printf("             resumed run: %v of runtime carried from prior run(s)\n",
@@ -323,6 +336,7 @@ func main() {
 			TimeLimit: limit,
 			Workers:   *workers,
 			MaxLeaves: *maxLeaves,
+			Portfolio: *portfolio,
 		}
 		if *ckPath != "" && (alg == core.AlgHeuristic2 || alg == core.AlgExact) {
 			o.Checkpoint = core.CheckpointOptions{
@@ -342,15 +356,7 @@ func main() {
 	}
 
 	heu2Limit := time.Duration(*heu2sec * float64(time.Second))
-	switch *method {
-	case "heu1":
-		report(p, run("heuristic-1", solve(p, core.AlgHeuristic1, 0)))
-	case "heu2":
-		report(p, run("heuristic-2", solve(p, core.AlgHeuristic2, heu2Limit)))
-	case "exact":
-		report(p, run("exact", solve(p, core.AlgExact, 0)))
-	case "state-only":
-		report(p, run("state-only", solve(p, core.AlgStateOnly, 0)))
+	switch methodName {
 	case "vt-state":
 		vtOpt := opt
 		vtOpt.VtOnly = true
@@ -368,7 +374,41 @@ func main() {
 		run("heuristic-1", solve(p, core.AlgHeuristic1, 0))
 		report(p, run("heuristic-2", solve(p, core.AlgHeuristic2, heu2Limit)))
 	default:
-		fatal(fmt.Errorf("unknown method %q", *method))
+		alg, err := core.ParseAlgorithm(methodName)
+		if err != nil {
+			fatal(fmt.Errorf("unknown method %q", *method))
+		}
+		limit := time.Duration(0)
+		if alg == core.AlgHeuristic2 {
+			limit = heu2Limit
+		}
+		report(p, run(methodLabel(alg), solve(p, alg, limit)))
+	}
+}
+
+// normalizeMethod maps the CLI's historical heu1/heu2 shorthands onto the
+// canonical core.Algorithm.String names; every other method string passes
+// through unchanged.
+func normalizeMethod(m string) string {
+	switch m {
+	case "heu1":
+		return "heuristic1"
+	case "heu2":
+		return "heuristic2"
+	}
+	return m
+}
+
+// methodLabel is the report label of an algorithm (the historical hyphenated
+// spellings, kept stable for script consumers).
+func methodLabel(alg core.Algorithm) string {
+	switch alg {
+	case core.AlgHeuristic1:
+		return "heuristic-1"
+	case core.AlgHeuristic2:
+		return "heuristic-2"
+	default:
+		return alg.String()
 	}
 }
 

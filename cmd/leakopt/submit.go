@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"svto/internal/core"
 	"svto/internal/jobs"
 	"svto/pkg/svto"
 )
@@ -20,24 +21,21 @@ import (
 // local flow uses, so `leakopt -submit` and a local run describe identical
 // work.  The -in netlist is inlined into the spec: the request is
 // self-contained and the daemon never needs the client's filesystem.
+// The method has already been normalized by normalizeMethod, so validation
+// is exactly core.ParseAlgorithm — the same parser the daemon applies on
+// the other side of the wire.
 func buildRequest(benchName, inFile, method, libOpt string, penalty, heu2sec float64,
-	workers int, maxLeaves int64, vectors, reportTop int, fuse, standby bool) (svto.Request, error) {
+	workers int, maxLeaves int64, vectors, reportTop int, fuse, standby, portfolio bool) (svto.Request, error) {
 
-	var alg svto.Algorithm
-	var limitSec float64
-	switch method {
-	case "heu1":
-		alg = svto.Heuristic1
-	case "heu2":
-		alg = svto.Heuristic2
-		limitSec = heu2sec
-	case "exact":
-		alg = svto.Exact
-	case "state-only":
-		alg = svto.StateOnly
-	default:
-		return svto.Request{}, fmt.Errorf("method %q cannot run remotely (use heu1|heu2|exact|state-only)", method)
+	coreAlg, err := core.ParseAlgorithm(method)
+	if err != nil {
+		return svto.Request{}, fmt.Errorf("method %q cannot run remotely (use heuristic1|heuristic2|exact|state-only)", method)
 	}
+	var limitSec float64
+	if coreAlg == core.AlgHeuristic2 {
+		limitSec = heu2sec
+	}
+	alg := svto.Algorithm(coreAlg.String())
 
 	req := svto.Request{
 		Design:  svto.DesignSpec{Benchmark: benchName, Fuse: fuse},
@@ -48,6 +46,7 @@ func buildRequest(benchName, inFile, method, libOpt string, penalty, heu2sec flo
 			TimeLimitSec:    limitSec,
 			Workers:         workers,
 			MaxLeaves:       maxLeaves,
+			Portfolio:       portfolio,
 			BaselineVectors: vectors,
 		},
 		Output: svto.OutputSpec{ReportTop: reportTop, StandbyBench: standby},
@@ -169,8 +168,15 @@ func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitW
 			res.Stats.StateNodes, res.Stats.GateTrials, res.Stats.Leaves,
 			res.Stats.LeafCacheHits, res.Stats.Pruned)
 		if res.Stats.BatchSweeps > 0 {
-			fmt.Printf("             batch sweeps %d (%.1f lanes/sweep)\n",
-				res.Stats.BatchSweeps, float64(res.Stats.BatchLanes)/float64(res.Stats.BatchSweeps))
+			fmt.Printf("             batch occupancy %.1f lanes/sweep\n",
+				float64(res.Stats.BatchLanes)/float64(res.Stats.BatchSweeps))
+		}
+		if res.Stats.RelaxBounds > 0 {
+			fmt.Printf("             relax probes %d (pruned %d)\n",
+				res.Stats.RelaxBounds, res.Stats.RelaxPruned)
+		}
+		if res.Stats.PortfolioWins > 0 {
+			fmt.Printf("             portfolio wins %d\n", res.Stats.PortfolioWins)
 		}
 		if res.Resumed {
 			fmt.Printf("             resumed run: %v of runtime carried from prior run(s)\n",

@@ -49,8 +49,11 @@ const (
 	// the payload layout changes; old files then fail with ErrVersion
 	// instead of being misdecoded.
 	//
-	// History: 2 added BatchSweeps/BatchLanes to Stats.
-	Version = 2
+	// History: 2 added BatchSweeps/BatchLanes to Stats.  3 added the
+	// relaxation/portfolio counters and the Lagrangian multiplier cache as
+	// trailing sections; version-2 files remain loadable (the extras decode
+	// to their zero values).
+	Version = 3
 
 	// maxCount bounds every length read from a snapshot, so a corrupt
 	// length field fails validation instead of attempting a huge
@@ -67,6 +70,18 @@ type Stats struct {
 	LeafCacheHits int64
 	BatchSweeps   int64
 	BatchLanes    int64
+	RelaxBounds   int64
+	RelaxPruned   int64
+	PortfolioWins int64
+}
+
+// Multiplier is one cached Lagrangian multiplier of the relaxation bound
+// engine: the optimal λ of (gate, state).  Only non-zero multipliers are
+// stored.
+type Multiplier struct {
+	Gate   int32
+	State  int32
+	Lambda float64
 }
 
 // WorkerFailure records one worker death (panic or leaf-evaluation error)
@@ -107,6 +122,15 @@ type Snapshot struct {
 	// Frontier holds the unexplored subtree prefixes, one vector per
 	// task: values 0 (input forced false), 1 (true), 2 (unassigned).
 	Frontier [][]byte
+	// HasMultipliers reports whether the writing process had a relaxation
+	// engine (so Multipliers is its cache, possibly empty); false means no
+	// cache was recorded — version-2 files, ablated runs, and snapshots
+	// written by a process that never built the engine — and the resuming
+	// process rebuilds cold.
+	HasMultipliers bool
+	// Multipliers is the sparse non-zero multiplier cache, in gate-major
+	// order.
+	Multipliers []Multiplier
 }
 
 // File is the writable handle Save needs; *os.File satisfies it.
@@ -244,6 +268,22 @@ func (s *Snapshot) marshal() []byte {
 	for _, vec := range s.Frontier {
 		w.b = append(w.b, vec...)
 	}
+	// Version-3 trailing sections: relaxation/portfolio counters, then the
+	// multiplier cache.
+	w.i64(s.Stats.RelaxBounds)
+	w.i64(s.Stats.RelaxPruned)
+	w.i64(s.Stats.PortfolioWins)
+	if s.HasMultipliers {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(uint32(len(s.Multipliers)))
+	for _, m := range s.Multipliers {
+		w.u32(uint32(m.Gate))
+		w.u32(uint32(m.State))
+		w.f64(m.Lambda)
+	}
 
 	payload := w.b
 	out := make([]byte, 0, len(magic)+16+len(payload)+4)
@@ -263,7 +303,7 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 	}
 	rest := data[len(magic):]
 	version := binary.LittleEndian.Uint32(rest[:4])
-	if version != Version {
+	if version != 2 && version != Version {
 		return nil, fmt.Errorf("%w: got version %d, want %d", ErrVersion, version, Version)
 	}
 	plen := binary.LittleEndian.Uint64(rest[4:12])
@@ -327,6 +367,23 @@ func Unmarshal(data []byte) (*Snapshot, error) {
 		}
 	} else if ntasks > 0 {
 		r.failed = true
+	}
+	if version >= 3 {
+		s.Stats.RelaxBounds = r.i64()
+		s.Stats.RelaxPruned = r.i64()
+		s.Stats.PortfolioWins = r.i64()
+		s.HasMultipliers = r.u8() != 0
+		nm := r.count()
+		if nm > 0 {
+			s.Multipliers = make([]Multiplier, 0, min(nm, 1<<16))
+		}
+		for i := 0; i < nm && !r.failed; i++ {
+			s.Multipliers = append(s.Multipliers, Multiplier{
+				Gate:   int32(r.u32()),
+				State:  int32(r.u32()),
+				Lambda: r.f64(),
+			})
+		}
 	}
 	if r.failed || len(r.b) != 0 {
 		return nil, fmt.Errorf("%w: payload does not decode cleanly", ErrCorrupt)

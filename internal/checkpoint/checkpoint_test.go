@@ -1,7 +1,9 @@
 package checkpoint
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -21,6 +23,11 @@ func sampleSnapshot() *Snapshot {
 			Leaves:        40,
 			Pruned:        17,
 			LeafCacheHits: 3,
+			BatchSweeps:   9,
+			BatchLanes:    300,
+			RelaxBounds:   55,
+			RelaxPruned:   21,
+			PortfolioWins: 2,
 		},
 		Failures: []WorkerFailure{
 			{Worker: 2, Err: "worker panic: boom", Stack: "goroutine 7 [running]:\n..."},
@@ -35,6 +42,11 @@ func sampleSnapshot() *Snapshot {
 		Frontier: [][]byte{
 			{0, 1, 2, 2},
 			{1, 1, 2, 2},
+		},
+		HasMultipliers: true,
+		Multipliers: []Multiplier{
+			{Gate: 0, State: 1, Lambda: 0.25},
+			{Gate: 2, State: 3, Lambda: 17.5},
 		},
 	}
 }
@@ -132,6 +144,87 @@ func TestLoadRejectsCorruption(t *testing.T) {
 	t.Run("trailing garbage", func(t *testing.T) {
 		bad := append(append([]byte(nil), data...), 0x00)
 		if _, err := Unmarshal(bad); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("want ErrCorrupt, got %v", err)
+		}
+	})
+}
+
+// marshalV2 serializes a snapshot in the exact version-2 layout (no
+// relaxation counters, no multiplier section) so compatibility with files
+// written by older builds stays pinned by a test instead of by memory.
+func marshalV2(s *Snapshot) []byte {
+	full := s.marshal()
+	payload := full[len(magic)+12 : len(full)-4]
+	// The v3 trailing sections are the last 3*8 (counters) + 1 (flag) +
+	// 4 (count) + 16*len(Multipliers) bytes of the payload.
+	cut := len(payload) - (24 + 1 + 4 + 16*len(s.Multipliers))
+	return reframe(payload[:cut], 2)
+}
+
+// reframe wraps an arbitrary payload in a valid frame (magic, version,
+// length, CRC), so tests can exercise payload-level decode validation
+// separately from the frame checks.
+func reframe(payload []byte, version uint32) []byte {
+	out := append([]byte(nil), magic...)
+	out = binary.LittleEndian.AppendUint32(out, version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(len(payload)))
+	out = append(out, payload...)
+	return binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+}
+
+// A version-2 snapshot (written before the relaxation engine existed) must
+// still load: the new counters decode to zero and no multiplier cache is
+// reported, which tells the resuming search to rebuild the engine cold.
+func TestLoadVersion2Compat(t *testing.T) {
+	want := sampleSnapshot()
+	got, err := Unmarshal(marshalV2(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasMultipliers || got.Multipliers != nil {
+		t.Errorf("v2 decode invented a multiplier cache: %+v", got.Multipliers)
+	}
+	if got.Stats.RelaxBounds != 0 || got.Stats.RelaxPruned != 0 || got.Stats.PortfolioWins != 0 {
+		t.Errorf("v2 decode invented relaxation counters: %+v", got.Stats)
+	}
+	// Everything that exists in both versions must round-trip unchanged.
+	want.HasMultipliers = false
+	want.Multipliers = nil
+	want.Stats.RelaxBounds = 0
+	want.Stats.RelaxPruned = 0
+	want.Stats.PortfolioWins = 0
+	if !snapEqual(got, want) {
+		t.Errorf("v2 decode mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// The version-3 trailing sections must be validated like everything before
+// them: a payload cut anywhere inside them — even with a recomputed, valid
+// CRC — must fail, as must a multiplier count that promises more entries
+// than the payload holds, and v2 files carrying trailing bytes where the
+// v3 sections would start.
+func TestRejectsCorruptMultiplierSection(t *testing.T) {
+	full := sampleSnapshot().marshal()
+	payload := full[len(magic)+12 : len(full)-4]
+	v3len := 24 + 1 + 4 + 16*len(sampleSnapshot().Multipliers)
+
+	t.Run("truncated trailing sections", func(t *testing.T) {
+		for cut := len(payload) - v3len + 1; cut < len(payload); cut++ {
+			if _, err := Unmarshal(reframe(payload[:cut], Version)); !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("payload cut to %d of %d: want ErrCorrupt, got %v", cut, len(payload), err)
+			}
+		}
+	})
+	t.Run("overstated multiplier count", func(t *testing.T) {
+		bad := append([]byte(nil), payload...)
+		countOff := len(bad) - 4 - 16*len(sampleSnapshot().Multipliers)
+		binary.LittleEndian.PutUint32(bad[countOff:], 1<<20)
+		if _, err := Unmarshal(reframe(bad, Version)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("want ErrCorrupt, got %v", err)
+		}
+	})
+	t.Run("v2 frame with trailing bytes", func(t *testing.T) {
+		if _, err := Unmarshal(reframe(payload, 2)); !errors.Is(err, ErrCorrupt) {
 			t.Errorf("want ErrCorrupt, got %v", err)
 		}
 	})

@@ -162,12 +162,24 @@ func (p *Problem) newBatchEngine() (*sim.Batch3, error) {
 	return sim.NewBatch3(p.CC, p.minChoice, p.minAny)
 }
 
+// seedBatchEngine is newBatchEngine in coarse mode: same objective tables,
+// but any X fan-in contributes the row minimum instead of the pattern
+// minimum.  Heuristic-1's greedy descent uses it (see seedBoundEngine).
+func (p *Problem) seedBatchEngine() (*sim.Batch3, error) {
+	if p.Ablate.NoStateBounds || p.Ablate.NoBatchEval {
+		return nil, nil
+	}
+	return sim.NewBatch3Coarse(p.CC, p.minChoice, p.minAny)
+}
+
 // fastBatchEngine is newBatchEngine over the state-only baseline's
-// fast-version tables (see fastBoundEngine).
+// fast-version tables (see fastBoundEngine).  Coarse for the same reason:
+// the baseline's batch and incremental paths must agree bit for bit, and
+// both must reproduce the classic state-only bound.
 func (p *Problem) fastBatchEngine() (*sim.Batch3, error) {
 	if p.Ablate.NoBatchEval {
 		return nil, nil
 	}
 	known, unknown := p.fastTables()
-	return sim.NewBatch3(p.CC, known, unknown)
+	return sim.NewBatch3Coarse(p.CC, known, unknown)
 }

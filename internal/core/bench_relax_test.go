@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"svto/internal/gen"
+	"svto/internal/library"
+)
+
+// relaxBench is the machine-readable record TestBenchRelaxCascade emits: the
+// CI benchmark smoke reads it, and a locally generated copy is committed as
+// BENCH_relax.json.  The field family matches BENCH_dist.json (design,
+// inputs, gates, cpus, speedup) so dashboards can ingest both.
+type relaxBench struct {
+	Design string `json:"design"`
+	Inputs int    `json:"inputs"`
+	Gates  int    `json:"gates"`
+	CPUs   int    `json:"cpus"`
+	// Leaves is the cascade run's evaluated-leaf count (Workers=1, so the
+	// run is deterministic and the number is reproducible).
+	Leaves     int64   `json:"leaves"`
+	CascadeSec float64 `json:"cascade_sec"`
+	NoRelaxSec float64 `json:"no_relax_sec"`
+	Speedup    float64 `json:"speedup"`
+	// StateNodes / StateNodesNoRelax are the explored state-tree nodes with
+	// the bound cascade on and with Ablate.NoRelaxBound; NodeRatio is
+	// ablated/cascade — the cascade's pruning leverage.
+	StateNodes        int64   `json:"state_nodes"`
+	StateNodesNoRelax int64   `json:"state_nodes_no_relax"`
+	NodeRatio         float64 `json:"node_ratio"`
+	RelaxBounds       int64   `json:"relax_bounds"`
+	RelaxPruned       int64   `json:"relax_pruned"`
+	NsPerLeaf         float64 `json:"ns_per_leaf"`
+	LeavesPerSec      float64 `json:"leaves_per_sec"`
+}
+
+// TestBenchRelaxCascade measures the same deterministic Workers=1 exhaustive
+// search with the Lagrangian bound cascade and with it ablated, checks the
+// results are bit-identical, and writes the machine-readable comparison to
+// $BENCH_RELAX_OUT.  It is skipped unless that variable is set: it is a
+// benchmark wearing a test harness, not a correctness gate (the equivalence
+// itself is gated by TestNoRelaxBoundAblationEquivalence on every run).
+func TestBenchRelaxCascade(t *testing.T) {
+	out := os.Getenv("BENCH_RELAX_OUT")
+	if out == "" {
+		t.Skip("set BENCH_RELAX_OUT=<path> to run the relaxation benchmark")
+	}
+	// Five 2:1 mux banks sharing one select line: the select's fan-out puts
+	// it first in the influence order, the per-bank data cones stay
+	// independent, and a relaxation prune high in one bank's data region
+	// removes every completion of the banks after it — the shape where the
+	// choice-elimination bound has the most to say (gen.MuxBank's doc).
+	// The low penalty pins the delay budget near dmin, the regime that
+	// prices slow versions out of the dual.
+	const penalty = 0.002
+	circ, err := gen.MuxBank("relaxbench", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs, gates := len(circ.Inputs), len(circ.Gates)
+
+	measure := func(noRelax bool) (time.Duration, *Solution) {
+		p := newProblem(t, circ, library.DefaultOptions(), ObjTotal)
+		p.Ablate.NoRelaxBound = noRelax
+		start := time.Now()
+		sol, err := p.Solve(context.Background(), Options{
+			Algorithm: AlgHeuristic2, Penalty: penalty, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start), sol
+	}
+
+	tc, cascade := measure(false)
+	ta, ablated := measure(true)
+	if math.Float64bits(cascade.Leak) != math.Float64bits(ablated.Leak) {
+		t.Fatalf("cascade leak %.12f != ablated %.12f — not bit-identical", cascade.Leak, ablated.Leak)
+	}
+	if cascade.Stats.RelaxBounds == 0 {
+		t.Fatal("cascade run never probed the relaxation; benchmark measured nothing")
+	}
+
+	b := relaxBench{
+		Design:            "relaxbench",
+		Inputs:            inputs,
+		Gates:             gates,
+		CPUs:              runtime.GOMAXPROCS(0),
+		Leaves:            cascade.Stats.Leaves,
+		CascadeSec:        tc.Seconds(),
+		NoRelaxSec:        ta.Seconds(),
+		Speedup:           ta.Seconds() / tc.Seconds(),
+		StateNodes:        cascade.Stats.StateNodes,
+		StateNodesNoRelax: ablated.Stats.StateNodes,
+		NodeRatio:         float64(ablated.Stats.StateNodes) / float64(cascade.Stats.StateNodes),
+		RelaxBounds:       cascade.Stats.RelaxBounds,
+		RelaxPruned:       cascade.Stats.RelaxPruned,
+		NsPerLeaf:         float64(tc.Nanoseconds()) / float64(cascade.Stats.Leaves),
+		LeavesPerSec:      float64(cascade.Stats.Leaves) / tc.Seconds(),
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("cascade %.2fs (%d state nodes), ablated %.2fs (%d): %.2fx nodes, %.2fx wall clock",
+		b.CascadeSec, b.StateNodes, b.NoRelaxSec, b.StateNodesNoRelax, b.NodeRatio, b.Speedup)
+	if b.NodeRatio < 3 {
+		t.Logf("warning: node ratio %.2fx below the 3x target", b.NodeRatio)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"svto/internal/checkpoint"
+	"svto/internal/relax"
 	"svto/internal/sim"
 )
 
@@ -113,6 +114,12 @@ func (p *Problem) fingerprint(opt Options) uint64 {
 	if p.Ablate.NoBatchEval {
 		ab |= 16
 	}
+	if p.Ablate.NoRelaxBound {
+		ab |= 32
+	}
+	if p.Ablate.NoPortfolio {
+		ab |= 64
+	}
 	wu(ab)
 	return h.Sum64()
 }
@@ -144,6 +151,10 @@ type resumeState struct {
 	stats      checkpoint.Stats
 	failures   []WorkerFailure
 	tasks      [][]sim.Value
+	// mult is the snapshot's Lagrangian multiplier cache (nil when the
+	// snapshot carried none — format v2, or a run whose engine was off),
+	// used to warm-start the relaxation engine rebuild.
+	mult *relax.Warm
 }
 
 // restoreSnapshot converts a fingerprint-validated snapshot into the
@@ -203,6 +214,21 @@ func (p *Problem) restoreSnapshot(snap *checkpoint.Snapshot) (*resumeState, erro
 		}
 		rs.tasks = append(rs.tasks, task)
 	}
+	if snap.HasMultipliers {
+		rs.mult = relax.NewWarm()
+		for mi, m := range snap.Multipliers {
+			if m.Gate < 0 || int(m.Gate) >= len(p.Timer.Cells) {
+				return nil, mismatch("multiplier %d names gate %d, circuit has %d gates", mi, m.Gate, len(p.Timer.Cells))
+			}
+			if ns := p.Timer.Cells[m.Gate].Template.NumStates(); m.State < 0 || int(m.State) >= ns {
+				return nil, mismatch("multiplier %d names state %d of gate %d (%d states)", mi, m.State, m.Gate, ns)
+			}
+			if math.IsNaN(m.Lambda) || math.IsInf(m.Lambda, 0) || m.Lambda < 0 {
+				return nil, mismatch("multiplier %d holds invalid lambda %v", mi, m.Lambda)
+			}
+			rs.mult.Set(int(m.Gate), int(m.State), m.Lambda)
+		}
+	}
 	return rs, nil
 }
 
@@ -233,6 +259,17 @@ func (sh *sharedSearch) buildSnapshot(tp *taskPool) (*checkpoint.Snapshot, error
 		failures[i] = checkpoint.WorkerFailure{Worker: int32(f.Worker), Err: f.Err, Stack: f.Stack}
 	}
 	sh.failMu.Unlock()
+	// The multiplier cache rides along so a resume can warm-start the
+	// relaxation engine rebuild.  HasMultipliers distinguishes "engine was
+	// on, these are its non-zero multipliers (possibly none)" from "no cache
+	// recorded" — a coordinator-written snapshot says the latter and the
+	// resuming process rebuilds cold.
+	var mult []checkpoint.Multiplier
+	if sh.relax != nil {
+		for _, m := range sh.relax.Multipliers() {
+			mult = append(mult, checkpoint.Multiplier{Gate: m.Gate, State: m.State, Lambda: m.Lambda})
+		}
+	}
 	return &checkpoint.Snapshot{
 		Fingerprint: sh.fprint,
 		Elapsed:     sh.priorElapsed + time.Since(sh.start),
@@ -246,8 +283,13 @@ func (sh *sharedSearch) buildSnapshot(tp *taskPool) (*checkpoint.Snapshot, error
 			LeafCacheHits: sh.leafCacheHits.Load(),
 			BatchSweeps:   sh.batchSweeps.Load(),
 			BatchLanes:    sh.batchLanes.Load(),
+			RelaxBounds:   sh.relaxBounds.Load(),
+			RelaxPruned:   sh.relaxPruned.Load(),
+			PortfolioWins: sh.portfolioWins.Load(),
 		},
-		Failures: failures,
+		Failures:       failures,
+		HasMultipliers: sh.relax != nil,
+		Multipliers:    mult,
 		Incumbent: &checkpoint.Incumbent{
 			State:   best.State,
 			Choices: coords,

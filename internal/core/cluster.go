@@ -270,6 +270,15 @@ func (p *Problem) SolveTasks(ctx context.Context, opt Options, seed *Solution, t
 	sh := newSharedSearch(p, opt, p.Budget(opt.Penalty), seed)
 	sh.start = start
 	sh.splitDepth = opt.SplitDepth
+	// Shards run the same bound cascade a local pool would, so a 1-shard
+	// cluster run explores (and prunes) bit-identically to the local search.
+	// The engine is cached on the Problem, so repeated leases pay the build
+	// once.
+	var err error
+	sh.relax, err = p.relaxEngine(ctx, sh.budget, nil)
+	if err != nil {
+		return nil, err
+	}
 	if opt.Share != nil {
 		sh.attachShare(opt.Share)
 		defer sh.detachShare()

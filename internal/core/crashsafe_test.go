@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"os"
@@ -584,5 +586,91 @@ func TestNewProblemRejectsMalformedLibrary(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "no min-delay choice") {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestResumeFromV2Snapshot pins backward compatibility with checkpoint
+// files written before the relaxation engine existed: a live interrupted
+// run's snapshot is re-encoded in the version-2 byte layout (trailing
+// relaxation counters and multiplier cache cut off) and the resumed search
+// must complete with the same objective as an uninterrupted run — the
+// missing multiplier cache only means the engine rebuilds cold, which is
+// deterministic.
+func TestResumeFromV2Snapshot(t *testing.T) {
+	const penalty = 0.05
+	path := filepath.Join(t.TempDir(), "search.ckpt")
+	opt := Options{
+		Algorithm: AlgHeuristic2, Penalty: penalty, Workers: 1,
+		Checkpoint: CheckpointOptions{Path: path, Interval: time.Hour},
+	}
+
+	// Interrupt a run so it writes a (current-version) snapshot.
+	p := midCircuit(t)
+	p.Ablate.CancelAfterLeaves = 40
+	cut, err := p.Solve(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Stats.Interrupted {
+		t.Fatal("search completed before the cutoff; snapshot never written")
+	}
+
+	// Re-encode the snapshot file as version 2: same payload minus the
+	// trailing sections, with the frame's version, length and CRC redone.
+	snap, err := checkpoint.Load(nil, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const magicLen = 8
+	payload := data[magicLen+12 : len(data)-4]
+	cutoff := len(payload) - (24 + 1 + 4 + 16*len(snap.Multipliers))
+	v2 := append([]byte(nil), data[:magicLen]...)
+	v2 = binary.LittleEndian.AppendUint32(v2, 2)
+	v2 = binary.LittleEndian.AppendUint64(v2, uint64(cutoff))
+	v2 = append(v2, payload[:cutoff]...)
+	v2 = binary.LittleEndian.AppendUint32(v2, crc32.ChecksumIEEE(payload[:cutoff]))
+	if err := os.WriteFile(path, v2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if snap2, err := checkpoint.Load(nil, path); err != nil {
+		t.Fatalf("re-encoded v2 snapshot does not load: %v", err)
+	} else if snap2.HasMultipliers {
+		t.Fatal("v2 re-encode kept the multiplier cache")
+	}
+
+	// Resume from the v2 bytes and run to completion.
+	opt.Checkpoint.Resume = true
+	done, err := midCircuit(t).Solve(context.Background(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Stats.Interrupted {
+		t.Fatal("resumed run did not complete")
+	}
+	if !done.Stats.Resumed {
+		t.Error("resumed run not flagged Resumed")
+	}
+
+	// Reference: the same search uninterrupted, same engine and options.
+	refP, ref := crashResume(t, midCircuit, Options{
+		Algorithm: AlgHeuristic2, Penalty: penalty, Workers: 1,
+		Checkpoint: CheckpointOptions{
+			Path:     filepath.Join(t.TempDir(), "ref.ckpt"),
+			Interval: time.Hour,
+		},
+	}, 0)
+	checkSolution(t, refP, done, refP.Budget(penalty))
+	if done.Leak != ref.Leak || done.Delay != ref.Delay {
+		t.Errorf("v2-resumed result (%.12f/%.12f) != uninterrupted (%.12f/%.12f)",
+			done.Leak, done.Delay, ref.Leak, ref.Delay)
+	}
+	for i := range done.State {
+		if done.State[i] != ref.State[i] {
+			t.Fatalf("v2-resumed sleep vector differs at input %d", i)
+		}
 	}
 }

@@ -29,13 +29,15 @@ func (p *Problem) Heuristic1(penalty float64) (*Solution, error) {
 // seeding of the tree searches.  Stats.Runtime is stamped by Solve.
 func (p *Problem) heuristic1(budget float64) (*Solution, error) {
 	var stats SearchStats
-	bat, err := p.newBatchEngine()
+	// Coarse seed engines, not the searches' pattern-min ones: greedy
+	// guidance and pruning want different bounds (see seedBoundEngine).
+	bat, err := p.seedBatchEngine()
 	if err != nil {
 		return nil, err
 	}
 	var eng *sim.Inc3
 	if bat == nil {
-		eng, err = p.newBoundEngine()
+		eng, err = p.seedBoundEngine()
 		if err != nil {
 			return nil, err
 		}

@@ -14,6 +14,7 @@ import (
 
 	"svto/internal/checkpoint"
 	"svto/internal/library"
+	"svto/internal/relax"
 	"svto/internal/sim"
 	"svto/internal/sta"
 )
@@ -50,6 +51,14 @@ type sharedSearch struct {
 	leafCacheHits atomic.Int64
 	batchSweeps   atomic.Int64
 	batchLanes    atomic.Int64
+	relaxBounds   atomic.Int64
+	relaxPruned   atomic.Int64
+	portfolioWins atomic.Int64
+
+	// relax is the Lagrangian bound engine of the cascade (nil when ablated
+	// or when relaxation cannot improve on the cheap bound at this budget).
+	// Immutable once set, shared read-only by every worker.
+	relax *relax.Engine
 
 	// faultLeaves is the shared leaf-attempt counter the Ablation fault
 	// hooks key off; it only advances when a hook is armed, so production
@@ -114,6 +123,9 @@ func newSharedSearch(p *Problem, opt Options, budget float64, seed *Solution) *s
 	sh.pruned.Store(seed.Stats.Pruned)
 	sh.batchSweeps.Store(seed.Stats.BatchSweeps)
 	sh.batchLanes.Store(seed.Stats.BatchLanes)
+	sh.relaxBounds.Store(seed.Stats.RelaxBounds)
+	sh.relaxPruned.Store(seed.Stats.RelaxPruned)
+	sh.portfolioWins.Store(seed.Stats.PortfolioWins)
 	if !p.Ablate.NoLeafCache {
 		sh.cache = newLeafCache(len(p.CC.Gates))
 	}
@@ -254,6 +266,9 @@ func (sh *sharedSearch) snapshot(start time.Time) Progress {
 		LeafCacheHits: sh.leafCacheHits.Load(),
 		BatchSweeps:   sh.batchSweeps.Load(),
 		BatchLanes:    sh.batchLanes.Load(),
+		RelaxBounds:   sh.relaxBounds.Load(),
+		RelaxPruned:   sh.relaxPruned.Load(),
+		PortfolioWins: sh.portfolioWins.Load(),
 		BestLeak:      sh.incumbentLeak(),
 		Elapsed:       sh.priorElapsed + time.Since(start),
 	}
@@ -272,6 +287,9 @@ func (sh *sharedSearch) finish(start time.Time) *Solution {
 		LeafCacheHits:    sh.leafCacheHits.Load(),
 		BatchSweeps:      sh.batchSweeps.Load(),
 		BatchLanes:       sh.batchLanes.Load(),
+		RelaxBounds:      sh.relaxBounds.Load(),
+		RelaxPruned:      sh.relaxPruned.Load(),
+		PortfolioWins:    sh.portfolioWins.Load(),
 		Runtime:          sh.priorElapsed + time.Since(start),
 		Interrupted:      sh.interrupted.Load(),
 		WorkerFailures:   sh.failuresCopy(),
@@ -292,6 +310,21 @@ func (sh *sharedSearch) recordFailure(workerID int, err error) {
 	sh.failMu.Lock()
 	sh.failures = append(sh.failures, wf)
 	sh.deadErrs = append(sh.deadErrs, err)
+	sh.failMu.Unlock()
+}
+
+// recordExplorerFailure logs a portfolio explorer death.  Unlike worker
+// deaths it never joins the all-workers-died error: the exact/heuristic pool
+// does not depend on the explorers, so losing all of them only degrades the
+// race, not the search.
+func (sh *sharedSearch) recordExplorerFailure(slot int, err error) {
+	wf := WorkerFailure{Worker: slot, Err: err.Error()}
+	var pe *panicError
+	if errors.As(err, &pe) {
+		wf.Stack = string(pe.stack)
+	}
+	sh.failMu.Lock()
+	sh.failures = append(sh.failures, wf)
 	sh.failMu.Unlock()
 }
 
@@ -342,8 +375,12 @@ type worker struct {
 	// Exactly one of bp/inc is non-nil when state bounds are on: bp is the
 	// 64-lane batched prober (the default), inc the incremental fallback
 	// under Ablate.NoBatchEval.  Both nil means bounds are ablated.
-	bp      *batchProber
-	inc     *sim.Inc3
+	bp  *batchProber
+	inc *sim.Inc3
+	// rx is the relaxation half of the bound cascade: a second incremental
+	// engine over the Lagrangian contribution tables, probed only on
+	// branches the cheap bound could not cut.  Nil when sh.relax is nil.
+	rx      *sim.Inc3
 	stats   SearchStats
 	flushed SearchStats
 	// taskMark snapshots stats at the start of the current pool task, so a
@@ -373,10 +410,18 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 			return nil, err
 		}
 	}
+	var rx *sim.Inc3
+	if sh.relax != nil {
+		rx, err = sim.NewInc3(sh.p.CC, sh.relax.Known, sh.relax.Unknown)
+		if err != nil {
+			return nil, err
+		}
+	}
 	w := &worker{
 		sh:      sh,
 		pi:      make([]sim.Value, len(sh.p.CC.PI)),
 		inc:     inc,
+		rx:      rx,
 		base:    base,
 		scratch: base.Clone(),
 		arena:   sh.p.newLeafArena(base),
@@ -390,17 +435,22 @@ func (sh *sharedSearch) newWorker() (*worker, error) {
 	return w, nil
 }
 
-// enterPrefix syncs the bound engine to a task's partial assignment (w.pi
+// enterPrefix syncs the bound engines to a task's partial assignment (w.pi
 // must already hold it) and returns the number of Assigns to undo when the
 // subtree is done.
 func (w *worker) enterPrefix() int {
-	if w.inc == nil {
+	if w.inc == nil && w.rx == nil {
 		return 0
 	}
 	n := 0
 	for i, v := range w.pi {
 		if v != sim.X {
-			w.inc.Assign(i, v)
+			if w.inc != nil {
+				w.inc.Assign(i, v)
+			}
+			if w.rx != nil {
+				w.rx.Assign(i, v)
+			}
 			n++
 		}
 	}
@@ -410,7 +460,12 @@ func (w *worker) enterPrefix() int {
 // leavePrefix unwinds enterPrefix's assignments.
 func (w *worker) leavePrefix(n int) {
 	for ; n > 0; n-- {
-		w.inc.Undo()
+		if w.inc != nil {
+			w.inc.Undo()
+		}
+		if w.rx != nil {
+			w.rx.Undo()
+		}
 	}
 }
 
@@ -423,6 +478,8 @@ func (w *worker) flush() {
 	w.sh.leafCacheHits.Add(w.stats.LeafCacheHits - w.flushed.LeafCacheHits)
 	w.sh.batchSweeps.Add(w.stats.BatchSweeps - w.flushed.BatchSweeps)
 	w.sh.batchLanes.Add(w.stats.BatchLanes - w.flushed.BatchLanes)
+	w.sh.relaxBounds.Add(w.stats.RelaxBounds - w.flushed.RelaxBounds)
+	w.sh.relaxPruned.Add(w.stats.RelaxPruned - w.flushed.RelaxPruned)
 	w.flushed = w.stats
 }
 
@@ -452,6 +509,8 @@ func (w *worker) rollbackTask() {
 	w.sh.leafCacheHits.Add(w.taskMark.LeafCacheHits - w.flushed.LeafCacheHits)
 	w.sh.batchSweeps.Add(w.taskMark.BatchSweeps - w.flushed.BatchSweeps)
 	w.sh.batchLanes.Add(w.taskMark.BatchLanes - w.flushed.BatchLanes)
+	w.sh.relaxBounds.Add(w.taskMark.RelaxBounds - w.flushed.RelaxBounds)
+	w.sh.relaxPruned.Add(w.taskMark.RelaxPruned - w.flushed.RelaxPruned)
 	w.stats = w.taskMark
 	w.flushed = w.taskMark
 }
@@ -464,7 +523,15 @@ func (w *worker) rollbackTask() {
 // ordering — tighter branch first — and incumbent pruning are too.  The hot
 // path allocates nothing after a segment's first visit.
 //
-// On an error return the engine may hold unpaired Assigns (and the prober
+// Branches that survive the cheap bound pay the second stage of the bound
+// cascade: one incremental probe of the Lagrangian engine (w.rx), whose
+// per-gate contributions fold the delay budget into the bound.  The probe's
+// Assign persists into the subtree descent, so deeper cascade probes touch
+// only the newly-assigned input's fanout cone — the relaxation costs one
+// Assign/Bound/Undo per surviving branch, nothing on branches the cheap
+// bound already cut.
+//
+// On an error return the engines may hold unpaired Assigns (and the prober
 // unpopped segments); errors abort the whole search, so no caller reuses
 // the worker afterwards.
 func (w *worker) dfs(depth int) error {
@@ -502,6 +569,16 @@ func (w *worker) dfs(depth int) error {
 			w.stats.Pruned++
 			continue
 		}
+		if w.rx != nil {
+			w.rx.Assign(idx, br.v)
+			w.stats.RelaxBounds++
+			if w.rx.Bound() >= sh.bestObj()-LeakEps {
+				w.stats.Pruned++
+				w.stats.RelaxPruned++
+				w.rx.Undo()
+				continue
+			}
+		}
 		w.pi[idx] = br.v
 		if w.inc != nil {
 			w.inc.Assign(idx, br.v)
@@ -512,6 +589,9 @@ func (w *worker) dfs(depth int) error {
 		}
 		if w.inc != nil {
 			w.inc.Undo()
+		}
+		if w.rx != nil {
+			w.rx.Undo()
 		}
 	}
 	w.pi[idx] = sim.X

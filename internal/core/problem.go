@@ -11,13 +11,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"svto/internal/library"
 	"svto/internal/netlist"
+	"svto/internal/relax"
 	"svto/internal/sim"
 	"svto/internal/sta"
 )
@@ -56,6 +59,16 @@ type Ablation struct {
 	// bounds exactly); only throughput and the BatchSweeps/BatchLanes
 	// counters change.
 	NoBatchEval bool
+	// NoRelaxBound disables the Lagrangian-relaxation bound cascade: branch
+	// pruning falls back to the delay-oblivious minChoice/minAny bound
+	// alone.  The final objective is identical either way (both bounds are
+	// admissible); only the explored node count and the RelaxBounds/
+	// RelaxPruned counters change.
+	NoRelaxBound bool
+	// NoPortfolio disables the racing solver portfolio even when
+	// Options.Portfolio requests it, so the portfolio's contribution can be
+	// measured against the plain pool on identical options.
+	NoPortfolio bool
 
 	// The remaining fields are deterministic fault-injection hooks for the
 	// crash-safety tests.  They key off a shared leaf-attempt counter that
@@ -107,6 +120,13 @@ type Problem struct {
 	// fastTab[g][s] is the min-delay choice of gate g in state s,
 	// replacing the per-visit linear scan of Cell.FastChoice.
 	fastTab [][]*library.Choice
+	// relaxCache memoizes the Lagrangian bound engine per delay budget
+	// (keyed by the budget's float bits): cluster shards create a fresh
+	// search per leased batch but share the Problem, so the build cost is
+	// paid once.  A nil entry records that relaxation cannot improve on the
+	// cheap bound at that budget.
+	relaxMu    sync.Mutex
+	relaxCache map[uint64]*relax.Engine
 }
 
 // NewProblem compiles, times and pre-analyzes a circuit.
@@ -255,7 +275,19 @@ type SearchStats struct {
 	// under Ablate.NoBatchEval or NoStateBounds.
 	BatchSweeps int64
 	BatchLanes  int64
-	Runtime     time.Duration
+	// RelaxBounds counts Lagrangian-relaxation bound probes — branches
+	// that survived the cheap bound and paid for a relaxation probe —
+	// and RelaxPruned the subset those probes cut (included in Pruned).
+	// Both are zero under Ablate.NoRelaxBound/NoStateBounds, or when the
+	// delay budget is loose enough that relaxation cannot tighten the
+	// cheap bound.
+	RelaxBounds int64
+	RelaxPruned int64
+	// PortfolioWins counts incumbent installations won by the racing
+	// portfolio explorers (Options.Portfolio) rather than the tree-search
+	// workers.
+	PortfolioWins int64
+	Runtime       time.Duration
 	// Interrupted reports that the search was cut short — by context
 	// cancellation, an expired time limit or an exhausted leaf budget —
 	// so the solution is the best found rather than the search's fixpoint.
@@ -402,6 +434,64 @@ func (p *Problem) newBoundEngine() (*sim.Inc3, error) {
 	return sim.NewInc3(p.CC, p.minChoice, p.minAny)
 }
 
+// seedBoundEngine is newBoundEngine in coarse mode, for heuristic-1's
+// greedy state descent.  A tighter bound is strictly better for pruning but
+// not for greedy guidance — the bound is a proxy for the completion's cost,
+// and the pattern minimum's extra sharpness empirically misleads the
+// one-step lookahead (on c432 it lands the descent on a ~16% worse vector).
+// The descent therefore keeps the classic coarse bound the paper's
+// heuristic was built on, while the tree searches' pruning engines
+// (newBoundEngine/newBatchEngine) use the pattern minimum.
+func (p *Problem) seedBoundEngine() (*sim.Inc3, error) {
+	if p.Ablate.NoStateBounds {
+		return nil, nil
+	}
+	return sim.NewInc3Coarse(p.CC, p.minChoice, p.minAny)
+}
+
+// relaxEngine returns the Lagrangian bound engine for the given delay
+// budget, building (and caching) it on first use.  It returns nil — no
+// engine, zero probe overhead — when state bounds or the relaxation are
+// ablated, or when the budget is loose enough that the dual optimum cannot
+// improve on the cheap minChoice/minAny bound anywhere.  warm, when non-nil,
+// is a multiplier cache from a checkpoint snapshot of the identical problem;
+// it only accelerates the build (the optimal multipliers are deterministic),
+// so a cache hit in relaxCache ignores it.  A ctx cancellation or deadline
+// abandons the build and degrades to the cheap bound (nil engine, nil
+// error) without caching, so a later search with time to spare rebuilds.
+func (p *Problem) relaxEngine(ctx context.Context, budget float64, warm *relax.Warm) (*relax.Engine, error) {
+	if p.Ablate.NoStateBounds || p.Ablate.NoRelaxBound {
+		return nil, nil
+	}
+	key := math.Float64bits(budget)
+	p.relaxMu.Lock()
+	defer p.relaxMu.Unlock()
+	if eng, ok := p.relaxCache[key]; ok {
+		return eng, nil
+	}
+	eng, err := relax.Build(p.Timer, relax.Config{
+		Obj:      p.objOf,
+		Budget:   budget,
+		DelayEps: DelayEps,
+		Warm:     warm,
+		Ctx:      ctx,
+	})
+	if err != nil {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, nil
+		}
+		return nil, err
+	}
+	if !eng.Improved() {
+		eng = nil
+	}
+	if p.relaxCache == nil {
+		p.relaxCache = make(map[uint64]*relax.Engine)
+	}
+	p.relaxCache[key] = eng
+	return eng, nil
+}
+
 // fastTables builds the state-only baseline's contribution tables: every
 // gate pinned to its fastest version, so the per-state contribution is the
 // fast version's leakage there (and its minimum over states while the gate
@@ -424,16 +514,21 @@ func (p *Problem) fastTables() (known [][]float64, unknown []float64) {
 }
 
 // fastBoundEngine is the state-only baseline's variant of the bound engine,
-// over the fastTables contributions.
+// over the fastTables contributions.  It uses the coarse (any X → row
+// minimum) bound: the baseline reproduces the prior state-assignment
+// approach, so its greedy guidance must match that work's published bound,
+// not the tighter pattern minimum the optimizer's own engines use.
 func (p *Problem) fastBoundEngine() (*sim.Inc3, error) {
 	known, unknown := p.fastTables()
-	return sim.NewInc3(p.CC, known, unknown)
+	return sim.NewInc3Coarse(p.CC, known, unknown)
 }
 
 // stateBound computes the admissible leakage lower bound for a partial
 // input assignment using 3-valued simulation: gates with a known input
-// state contribute their best choice there; unknown gates contribute their
-// global best (paper section 5, bounds with partial state information).
+// state contribute their best choice there; partially known gates the
+// minimum over states consistent with the assigned inputs; fully unknown
+// gates their global best (paper section 5, bounds with partial state
+// information).
 //
 // This is the slow-path reference of the incremental engine built by
 // newBoundEngine: the searches evaluate branch bounds with sim.Inc3, and
@@ -448,10 +543,15 @@ func (p *Problem) stateBound(pi []sim.Value) (float64, error) {
 	}
 	bound := 0.0
 	for gi := range p.CC.Gates {
-		if s, known := sim.KnownGateState(&p.CC.Gates[gi], vals); known {
-			bound += p.minChoice[gi][s]
-		} else {
+		g := &p.CC.Gates[gi]
+		state, xmask := sim.GateState3(g, vals)
+		switch {
+		case xmask == 0:
+			bound += p.minChoice[gi][state]
+		case xmask == (uint(1)<<uint(len(g.In)))-1:
 			bound += p.minAny[gi]
+		default:
+			bound += sim.PatternMin(p.minChoice[gi], state, xmask)
 		}
 	}
 	return bound, nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"svto/internal/checkpoint"
+	"svto/internal/relax"
 )
 
 // Search tolerances, shared by every algorithm.  The seed implementation
@@ -61,6 +62,25 @@ func (a Algorithm) String() string {
 	}
 }
 
+// ParseAlgorithm is the inverse of Algorithm.String: it accepts exactly the
+// canonical names ("heuristic1", "heuristic2", "exact", "state-only") and is
+// the single parser behind the CLI's -method flag, remote request building
+// and pkg/svto request validation — so every entry point agrees on the
+// algorithm vocabulary.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case AlgHeuristic1.String():
+		return AlgHeuristic1, nil
+	case AlgHeuristic2.String():
+		return AlgHeuristic2, nil
+	case AlgExact.String():
+		return AlgExact, nil
+	case AlgStateOnly.String():
+		return AlgStateOnly, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want heuristic1|heuristic2|exact|state-only)", s)
+}
+
 // Progress is a point-in-time snapshot of a running search, delivered to
 // Options.Progress.  BestLeak is the incumbent total leakage (nA).
 type Progress struct {
@@ -76,8 +96,16 @@ type Progress struct {
 	// the mean lane occupancy).
 	BatchSweeps int64
 	BatchLanes  int64
-	BestLeak    float64
-	Elapsed     time.Duration
+	// RelaxBounds / RelaxPruned instrument the Lagrangian bound cascade:
+	// relaxation probes paid (branches the cheap bound could not cut) and
+	// the subset those probes pruned.
+	RelaxBounds int64
+	RelaxPruned int64
+	// PortfolioWins counts incumbent installations won by the racing
+	// portfolio explorers.
+	PortfolioWins int64
+	BestLeak      float64
+	Elapsed       time.Duration
 }
 
 // Options configures a Solve call.  The zero value runs Heuristic 1 at a 0%
@@ -106,8 +134,21 @@ type Options struct {
 	// seed.
 	MaxLeaves int64
 	// Seed, when non-zero, shuffles the parallel subtree task order (a
-	// cheap load-balancing lever); zero keeps bound-guided order.
+	// cheap load-balancing lever); zero keeps bound-guided order.  It also
+	// seeds the portfolio explorers' random restarts.
 	Seed int64
+	// Portfolio races solver strategies inside one tree search: with
+	// Workers > 1, up to two worker slots become explorer goroutines —
+	// seed-randomized greedy restarts and incumbent-perturbation descents —
+	// that install improvements into the shared incumbent while the
+	// remaining slots run the relaxation-guided branch-and-bound pool.
+	// Early tight incumbents and tighter bounds compound, so on exhaustive
+	// searches the result is unchanged (the explorers only ever install
+	// feasible solutions, and pruning bounds stay admissible) but bad
+	// subtrees are cut sooner.  Ignored at Workers == 1 — the bit-for-bit
+	// sequential determinism contract stays intact — and under
+	// Ablate.NoPortfolio.  Explorer work is not charged against MaxLeaves.
+	Portfolio bool
 	// RefinePasses, when > 0, runs that many iterated gate-refinement
 	// passes over the search result before returning it.
 	RefinePasses int
@@ -241,6 +282,9 @@ func emitFinalProgress(opt Options, sol *Solution) {
 		LeafCacheHits: sol.Stats.LeafCacheHits,
 		BatchSweeps:   sol.Stats.BatchSweeps,
 		BatchLanes:    sol.Stats.BatchLanes,
+		RelaxBounds:   sol.Stats.RelaxBounds,
+		RelaxPruned:   sol.Stats.RelaxPruned,
+		PortfolioWins: sol.Stats.PortfolioWins,
 		BestLeak:      sol.Leak,
 		Elapsed:       sol.Stats.Runtime,
 	})
@@ -277,6 +321,18 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, 
 		sh.ck = opt.Checkpoint
 		sh.fprint = p.fingerprint(opt)
 	}
+	// Build the Lagrangian bound engine eagerly, before any worker (or the
+	// checkpoint ticker) starts, so every snapshot carries the real
+	// multiplier cache.  A resume snapshot's cache warm-starts the build;
+	// the resulting tables are identical to a cold build either way.
+	var warm *relax.Warm
+	if rs != nil {
+		warm = rs.mult
+	}
+	sh.relax, err = p.relaxEngine(ctx, budget, warm)
+	if err != nil {
+		return nil, err
+	}
 	if rs != nil {
 		// Continue, don't reset: counters, budgets and recorded failures
 		// all carry over from the crashed run.
@@ -289,6 +345,9 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, 
 		sh.leafCacheHits.Store(rs.stats.LeafCacheHits)
 		sh.batchSweeps.Store(rs.stats.BatchSweeps)
 		sh.batchLanes.Store(rs.stats.BatchLanes)
+		sh.relaxBounds.Store(rs.stats.RelaxBounds)
+		sh.relaxPruned.Store(rs.stats.RelaxPruned)
+		sh.portfolioWins.Store(rs.stats.PortfolioWins)
 		sh.failures = rs.failures
 		sh.splitDepth = rs.splitDepth
 		if sh.maxLeaves > 0 && rs.leavesUsed >= sh.maxLeaves {
@@ -356,6 +415,16 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, 
 		}()
 	}
 
+	// Portfolio race: convert up to two worker slots into explorer
+	// goroutines (see portfolio.go).  Workers == 1 keeps all slots for the
+	// deterministic search, so the sequential contract is untouched.
+	stopExplorers := func() {}
+	if opt.Portfolio && !p.Ablate.NoPortfolio && opt.Workers > 1 && len(p.CC.PI) > 0 {
+		ex := portfolioSlots(opt.Workers)
+		opt.Workers -= ex
+		stopExplorers = sh.startExplorers(ex, opt.Seed)
+	}
+
 	// Checkpointing and resume always use the pool engine, even for one
 	// worker: the pool is what keeps the unexplored frontier as an explicit,
 	// serializable set of tasks.
@@ -366,6 +435,7 @@ func (p *Problem) treeSearch(ctx context.Context, opt Options, start time.Time, 
 		searchErr = sh.runPool(opt, rs)
 	}
 
+	stopExplorers()
 	stopWatcher()
 	if progressDone != nil {
 		// Wait out the ticker goroutine; the final snapshot is emitted by

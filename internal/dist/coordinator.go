@@ -339,6 +339,9 @@ func (c *Coordinator) Run(ctx context.Context, jobID string, req svto.Request, o
 			LeafCacheHits: seed.Stats.LeafCacheHits,
 			BatchSweeps:   seed.Stats.BatchSweeps + expStats.BatchSweeps,
 			BatchLanes:    seed.Stats.BatchLanes + expStats.BatchLanes,
+			RelaxBounds:   seed.Stats.RelaxBounds,
+			RelaxPruned:   seed.Stats.RelaxPruned,
+			PortfolioWins: seed.Stats.PortfolioWins,
 		}
 		for id, t := range frontier {
 			r.tasks = append(r.tasks, encodeTask(t))
@@ -424,6 +427,9 @@ func (c *Coordinator) Run(ctx context.Context, jobID string, req svto.Request, o
 		LeafCacheHits:    r.stats.LeafCacheHits,
 		BatchSweeps:      r.stats.BatchSweeps,
 		BatchLanes:       r.stats.BatchLanes,
+		RelaxBounds:      r.stats.RelaxBounds,
+		RelaxPruned:      r.stats.RelaxPruned,
+		PortfolioWins:    r.stats.PortfolioWins,
 		Interrupted:      r.interrupted,
 		WorkerFailures:   append([]core.WorkerFailure(nil), r.failures...),
 		CheckpointWrites: r.ckWrites,
@@ -528,6 +534,9 @@ func (r *run) maintain(stop <-chan struct{}, progress func(svto.Progress)) {
 				LeafCacheHits: r.stats.LeafCacheHits,
 				BatchSweeps:   r.stats.BatchSweeps,
 				BatchLanes:    r.stats.BatchLanes,
+				RelaxBounds:   r.stats.RelaxBounds,
+				RelaxPruned:   r.stats.RelaxPruned,
+				PortfolioWins: r.stats.PortfolioWins,
 				Runtime:       r.prior + time.Since(r.start),
 			}
 			r.mu.Unlock()
@@ -586,6 +595,9 @@ func (r *run) writeSnapshot() {
 			frontier = append(frontier, r.tasks[id])
 		}
 	}
+	// HasMultipliers stays false: the coordinator never builds the
+	// relaxation engine (shards do), so it has no multiplier cache to
+	// record and a resuming process rebuilds cold.
 	snap := &checkpoint.Snapshot{
 		Fingerprint: r.fprint,
 		Elapsed:     r.prior + time.Since(r.start),
@@ -841,15 +853,19 @@ func (r *run) sync(req SyncRequest) SyncReply {
 // progressFromStats converts merged counters to the public progress shape.
 func progressFromStats(s core.SearchStats, bestLeak float64) svto.Progress {
 	return svto.Progress{
-		StateNodes:    s.StateNodes,
-		GateTrials:    s.GateTrials,
-		Leaves:        s.Leaves,
-		Pruned:        s.Pruned,
-		LeafCacheHits: s.LeafCacheHits,
-		BatchSweeps:   s.BatchSweeps,
-		BatchLanes:    s.BatchLanes,
-		BestLeakNA:    bestLeak,
-		Elapsed:       s.Runtime,
+		StateNodes:     s.StateNodes,
+		GateTrials:     s.GateTrials,
+		Leaves:         s.Leaves,
+		Pruned:         s.Pruned,
+		LeafCacheHits:  s.LeafCacheHits,
+		BatchSweeps:    s.BatchSweeps,
+		BatchLanes:     s.BatchLanes,
+		BatchOccupancy: svto.BatchOccupancy(s.BatchSweeps, s.BatchLanes),
+		RelaxBounds:    s.RelaxBounds,
+		RelaxPruned:    s.RelaxPruned,
+		PortfolioWins:  s.PortfolioWins,
+		BestLeakNA:     bestLeak,
+		Elapsed:        s.Runtime,
 	}
 }
 

@@ -97,6 +97,9 @@ type StatsDelta struct {
 	LeafCacheHits int64 `json:"leaf_cache_hits,omitempty"`
 	BatchSweeps   int64 `json:"batch_sweeps,omitempty"`
 	BatchLanes    int64 `json:"batch_lanes,omitempty"`
+	RelaxBounds   int64 `json:"relax_bounds,omitempty"`
+	RelaxPruned   int64 `json:"relax_pruned,omitempty"`
+	PortfolioWins int64 `json:"portfolio_wins,omitempty"`
 }
 
 func deltaFromStats(s core.SearchStats) StatsDelta {
@@ -108,6 +111,9 @@ func deltaFromStats(s core.SearchStats) StatsDelta {
 		LeafCacheHits: s.LeafCacheHits,
 		BatchSweeps:   s.BatchSweeps,
 		BatchLanes:    s.BatchLanes,
+		RelaxBounds:   s.RelaxBounds,
+		RelaxPruned:   s.RelaxPruned,
+		PortfolioWins: s.PortfolioWins,
 	}
 }
 
@@ -119,6 +125,9 @@ func (d StatsDelta) addTo(s *checkpoint.Stats) {
 	s.LeafCacheHits += d.LeafCacheHits
 	s.BatchSweeps += d.BatchSweeps
 	s.BatchLanes += d.BatchLanes
+	s.RelaxBounds += d.RelaxBounds
+	s.RelaxPruned += d.RelaxPruned
+	s.PortfolioWins += d.PortfolioWins
 }
 
 // CompleteRequest reports a drained (or interrupted) lease.  Remaining

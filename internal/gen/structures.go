@@ -156,6 +156,59 @@ func MuxTree(name string, selBits int) (*netlist.Circuit, error) {
 	return mapCircuit(c, nil)
 }
 
+// MuxBank builds `banks` independent 2^n:1 multiplexer trees sharing one
+// set of select lines: inputs b<k>d0..b<k>d(2^n-1) per bank plus
+// s0..s(n-1), outputs y0..y(banks-1).  The shared selects give the bank
+// the widest-fanout inputs (assigned first by influence-ordered searches)
+// while the per-bank data cones stay independent, which makes it a natural
+// stress shape for state-tree bounds: a cut high in one bank's data region
+// removes every completion of the remaining banks.
+func MuxBank(name string, selBits, banks int) (*netlist.Circuit, error) {
+	if selBits < 1 || selBits > 8 {
+		return nil, fmt.Errorf("gen: mux select width %d out of range [1,8]", selBits)
+	}
+	if banks < 1 || banks > 16 {
+		return nil, fmt.Errorf("gen: mux bank count %d out of range [1,16]", banks)
+	}
+	c := &netlist.Circuit{Name: name}
+	fresh := 0
+	emit := func(op netlist.Op, fanin ...string) string {
+		n := fmt.Sprintf("m%d", fresh)
+		fresh++
+		c.Gates = append(c.Gates, netlist.Gate{Name: n, Op: op, Fanin: fanin})
+		return n
+	}
+	sels := make([]string, selBits)
+	for i := range sels {
+		sels[i] = fmt.Sprintf("s%d", i)
+		c.Inputs = append(c.Inputs, sels[i])
+	}
+	nsels := make([]string, selBits)
+	for i, s := range sels {
+		nsels[i] = emit(netlist.OpNot, s)
+	}
+	for bk := 0; bk < banks; bk++ {
+		level := make([]string, 1<<selBits)
+		for i := range level {
+			level[i] = fmt.Sprintf("b%dd%d", bk, i)
+			c.Inputs = append(c.Inputs, level[i])
+		}
+		for lv := 0; lv < selBits; lv++ {
+			s, ns := sels[lv], nsels[lv]
+			next := make([]string, len(level)/2)
+			for i := range next {
+				a, b := level[2*i], level[2*i+1] // select b when s=1
+				t1 := emit(netlist.OpNand, a, ns)
+				t2 := emit(netlist.OpNand, b, s)
+				next[i] = emit(netlist.OpNand, t1, t2)
+			}
+			level = next
+		}
+		c.Outputs = append(c.Outputs, level[0])
+	}
+	return mapCircuit(c, nil)
+}
+
 // Comparator builds an n-bit magnitude comparator: inputs a*, b*; outputs
 // "gt" (a>b) and "eq" (a==b), built MSB-first.
 func Comparator(name string, bits int) (*netlist.Circuit, error) {

@@ -1,0 +1,386 @@
+// Package relax computes Lagrangian-relaxation lower bounds for the
+// simultaneous state/Vt/Tox assignment search.
+//
+// The cheap bounds the search uses everywhere (minChoice/minAny contribution
+// sums maintained by sim.Inc3 and sim.Batch3) are delay-oblivious: a gate
+// contributes its lowest-objective choice even when that choice alone blows
+// the delay budget.  This package tightens them by dualizing a per-gate
+// surrogate of the delay constraint.  For gate g, state s and choice c let
+//
+//	dlb(g,c) = delay of the certified lower-bound timing model (sta.Lower)
+//	           with gate g pinned to c's arcs
+//
+// — a true lower bound on the delay of any complete assignment containing
+// (g ← c).  Note what dlb is NOT: the delay with every other gate at its
+// fastest version.  Choices couple through net loads (a slow thick-oxide
+// version presents smaller pin capacitances, speeding up its fan-in
+// drivers), so circuit delay is not monotone in per-gate slowness and the
+// all-fast baseline is not a valid probe floor; sta.Lower instead charges
+// every other connection its pointwise-minimum arc and every net its
+// minimum possible load, a combination no real assignment beats on any
+// component, and verifies the NLDM grid monotonicity that induction needs.
+//
+// The gate-tree descent accepts a choice when the incremental timing state
+// reports delay ≤ Budget + DelayEps, so any choice appearing in a leaf the
+// search can produce satisfies dlb(g,c) ≤ T' where
+//
+//	T' = Budget + DelayEps + guard
+//
+// and guard is a small explicit margin (slackGuard) covering the two ways a
+// computed quantity can sit off the exact recurrence: the incremental
+// state's 1e-9 change cutoff lets accepted assignments drift below the
+// exact fixpoint by at most a few nanoseconds-of-picoseconds per gate of
+// depth, and edge extrapolation of the bilinear tables can deviate from
+// monotonicity by the rounding-level cross-term imbalance of the edge
+// cells.  Choices with MaxFactor ≤ 1 are accepted by the descent without a
+// delay check at all, so their slack is clamped to ≤ 0 unconditionally.
+//
+// Each surrogate is used in its clamped form
+//
+//	slack(g,c) = max(dlb(g,c) − T', 0 if the descent can accept c)
+//
+// — acceptable choices (slack ≤ 0, or MaxFactor ≤ 1, which the descent
+// accepts without a delay check) carry exactly zero slack.  Every leaf the
+// search can produce still satisfies every clamped surrogate, so relaxing
+// them with multipliers λ[g,s] ≥ 0 gives the per-gate dual function
+//
+//	q[g,s](λ) = min over choices c of  obj(c) + λ·slack(g,c)
+//
+// and Σ_g q[g,s_g](λ_g) is an admissible lower bound on the objective of any
+// leaf the search can produce, for every λ ≥ 0.  The clamp is what makes
+// the dual worth solving: with raw slacks, acceptable choices' negative
+// slopes drag the envelope down and cap q* strictly below the cost of
+// feasibility; with clamped slacks q(λ) is nondecreasing and climbs until
+// every infeasible-alone choice has priced itself out, reaching the
+// choice-elimination bound — the cheapest choice the descent could actually
+// accept — at a finite λ*.
+//
+// Because the dualized constraints are per-gate, the dual decomposes
+// exactly: each (gate, state) multiplier is optimized independently, and
+// the optimum λ*[g,s] is a build-time constant of (circuit, library,
+// objective, budget) — the fixpoint every deterministic subgradient
+// schedule converges to.  q[g,s] is a concave piecewise-linear function of
+// λ (a lower envelope of lines), so λ* is found exactly by evaluating q at
+// λ = 0 and at every pairwise crossing of choice lines, no iteration or
+// step-size schedule required.
+//
+// The result is a second contribution-table pair (Known/Unknown) with
+// Known[g][s] = q[g,s](λ*) ≥ minChoice[g][s] and Unknown[g] = min_s
+// Known[g][s] ≥ minAny[g]; the search feeds them to the same incremental
+// 3-valued machinery (sim.Inc3) it uses for the cheap bound, so a
+// relaxation probe costs exactly one Assign/Bound/Undo on the gate cone.
+//
+// Past the guarded slack, admissibility is float-exact: an acceptable
+// choice's clamped slack is exactly zero, λ·0 = 0, and fl(obj + 0) = obj,
+// so the choice's line sits exactly at its objective.  The per-gate
+// contributions are then summed in gate order by sim.Inc3.Bound — the same
+// order and association leakOf uses for a complete assignment — and
+// term-wise ≤ is preserved by monotonicity of rounded addition.
+package relax
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"svto/internal/library"
+	"svto/internal/sta"
+)
+
+// Config parameterizes Build.
+type Config struct {
+	// Obj maps a choice to its objective value (total leakage or Isub).
+	Obj func(*library.Choice) float64
+	// Budget is the absolute delay bound (ps).
+	Budget float64
+	// DelayEps is the feasibility slack the search applies to delay-budget
+	// comparisons; slacks are computed against Budget+DelayEps so a choice
+	// the gate-tree descent would accept never contributes a positive term.
+	DelayEps float64
+	// Warm, when non-nil, is a multiplier cache from a previous Build over
+	// the identical problem (carried by checkpoint snapshots): per (gate,
+	// state) the cached λ* is re-evaluated directly and the pairwise
+	// crossing scan is skipped.  Entries absent from a non-nil cache mean
+	// λ* = 0.  Because λ* is a deterministic function of the problem, the
+	// resulting tables are identical to a cold Build — the cache only
+	// saves build time.
+	Warm *Warm
+	// Ctx, when non-nil, lets a time-limited or cancelled search abandon
+	// the build: Build checks it between gates and returns the context's
+	// error.  Callers degrade to the cheap bound — the probes are a
+	// startup investment a nearly-expired budget cannot amortize.
+	Ctx context.Context
+}
+
+// Warm is a sparse (gate, state) → λ multiplier cache.
+type Warm struct {
+	m map[int64]float64
+}
+
+// NewWarm creates an empty multiplier cache.
+func NewWarm() *Warm { return &Warm{m: make(map[int64]float64)} }
+
+func warmKey(gate, state int) int64 { return int64(gate)<<32 | int64(uint32(state)) }
+
+// Set records the multiplier of one (gate, state).
+func (w *Warm) Set(gate, state int, lambda float64) { w.m[warmKey(gate, state)] = lambda }
+
+// Get looks up the multiplier of one (gate, state).
+func (w *Warm) Get(gate, state int) (float64, bool) {
+	l, ok := w.m[warmKey(gate, state)]
+	return l, ok
+}
+
+// Len returns the number of cached multipliers.
+func (w *Warm) Len() int { return len(w.m) }
+
+// Mult is one exported multiplier (Multipliers); Gate/State index the
+// problem's compiled gate order and instance states.
+type Mult struct {
+	Gate   int32
+	State  int32
+	Lambda float64
+}
+
+// Engine holds the relaxation bound tables for one (problem, budget) pair.
+// All fields are immutable after Build, so one Engine is shared read-only by
+// every search worker.
+type Engine struct {
+	// Known[g][s] is the dual value q[g,s](λ*): the gate's admissible
+	// contribution when its input state is known.  Always ≥ the cheap
+	// minChoice[g][s] (λ = 0 is a candidate).
+	Known [][]float64
+	// Unknown[g] = min_s Known[g][s]: the contribution while the gate
+	// state is undetermined.  Always ≥ the cheap minAny[g].
+	Unknown []float64
+	// Lambda[g][s] is the optimal multiplier behind Known[g][s] (0 when
+	// the cheap bound is already dual-optimal).
+	Lambda [][]float64
+
+	improved int // count of (g,s) entries with Known > cheap minimum
+}
+
+// Improved reports whether any (gate, state) bound is strictly tighter than
+// the delay-oblivious minimum — when false the engine adds no pruning power
+// (the budget is loose enough that every gate's cheapest choice is feasible
+// alone) and callers should drop it instead of paying probes for it.
+func (e *Engine) Improved() bool { return e.improved > 0 }
+
+// ActiveEntries returns the number of (gate, state) entries whose bound is
+// strictly tighter than the cheap minimum.
+func (e *Engine) ActiveEntries() int { return e.improved }
+
+// Multipliers exports the non-zero multipliers as sparse (gate, state, λ)
+// triples, in gate-major deterministic order — the checkpoint multiplier
+// cache.
+func (e *Engine) Multipliers() []Mult {
+	var out []Mult
+	for gi := range e.Lambda {
+		for s, l := range e.Lambda[gi] {
+			if l > 0 {
+				out = append(out, Mult{Gate: int32(gi), State: int32(s), Lambda: l})
+			}
+		}
+	}
+	return out
+}
+
+// probeKey identifies a delay probe result: dlb depends on the choice only
+// through its version and pin permutation (the static timing analysis never
+// sees the input state), so choices sharing both reuse one probe.
+type probeKey struct {
+	version int
+	nperm   int8
+	perm    [8]int8
+}
+
+func keyOf(ch *library.Choice) probeKey {
+	k := probeKey{version: ch.Version.Index, nperm: int8(len(ch.Perm))}
+	for i, p := range ch.Perm {
+		k.perm[i] = int8(p)
+	}
+	return k
+}
+
+// slackGuard is the explicit feasibility margin folded into T' on top of
+// the search's DelayEps: it dominates both the incremental timing state's
+// per-gate 1e-9 change-cutoff drift (bounded by ~4e-9 ps per gate of
+// logical depth, so the gate count is a safe depth bound) and the
+// rounding-level cross-term imbalance of edge-extrapolated bilinear
+// lookups.  Against picosecond-scale budgets it costs the bound nothing
+// measurable; without it, admissibility at near-zero budget margins would
+// hang on which of two algorithmically different delay evaluations the
+// descent happened to run.
+func slackGuard(ngates int) float64 { return 1e-6 + 4e-9*float64(ngates) }
+
+// Build probes every (gate, version, permutation) delay lower bound against
+// the certified lower-bound timing model and solves each per-(gate, state)
+// dual exactly.  The cost is one cone re-propagation per distinct slow
+// (version, permutation) per gate, paid once per (problem, budget).
+//
+// When the library's timing tables cannot be verified monotone (a custom
+// library with non-physical grids), every slack is forced to zero: the dual
+// degenerates to λ = 0 everywhere, Improved() reports false and the caller
+// drops the engine — the cascade degrades to the cheap bound instead of
+// risking an uncertified pruning decision.
+func Build(timer *sta.Timer, cfg Config) (*Engine, error) {
+	if cfg.Obj == nil {
+		return nil, fmt.Errorf("relax: Config.Obj is required")
+	}
+	lb, lbErr := sta.NewLower(timer)
+	ngates := len(timer.Cells)
+	budgetEps := cfg.Budget + cfg.DelayEps + slackGuard(ngates)
+	e := &Engine{
+		Known:   make([][]float64, ngates),
+		Unknown: make([]float64, ngates),
+		Lambda:  make([][]float64, ngates),
+	}
+	// Per-leaf scratch, reused across gates/states.
+	var objs, slacks []float64
+	probes := make(map[probeKey]float64)
+	for gi := 0; gi < ngates; gi++ {
+		if cfg.Ctx != nil {
+			select {
+			case <-cfg.Ctx.Done():
+				return nil, cfg.Ctx.Err()
+			default:
+			}
+		}
+		cell := timer.Cells[gi]
+		ns := cell.Template.NumStates()
+		e.Known[gi] = make([]float64, ns)
+		e.Lambda[gi] = make([]float64, ns)
+		for k := range probes {
+			delete(probes, k)
+		}
+		// slackOf computes the clamped surrogate slack of one choice,
+		// memoizing delay probes by (version, permutation).  Acceptable
+		// choices (slack ≤ 0, or MaxFactor ≤ 1, which the descent accepts
+		// without a delay check) are clamped to exactly zero: every
+		// accepted leaf still satisfies the clamped surrogate (λ·0 = 0),
+		// so admissibility is untouched, but the dual envelope stops being
+		// dragged down by feasible choices' negative slacks — q(λ) becomes
+		// nondecreasing in λ and climbs to the choice-elimination bound,
+		// the cheapest choice the descent could actually accept, at a
+		// finite λ*, pricing infeasible-alone choices out completely.
+		slackOf := func(ch *library.Choice) float64 {
+			if lbErr != nil {
+				return 0
+			}
+			dlb := lb.BaseDelay()
+			if ch.Version.MaxFactor > 1 {
+				key := keyOf(ch)
+				d, ok := probes[key]
+				if !ok {
+					d = lb.Probe(gi, ch)
+					probes[key] = d
+				}
+				dlb = d
+			}
+			slack := dlb - budgetEps
+			if slack < 0 || ch.Version.MaxFactor <= 1 {
+				slack = 0
+			}
+			return slack
+		}
+		unknown := math.Inf(1)
+		for s := 0; s < ns; s++ {
+			choices := cell.Choices[s]
+			objs = objs[:0]
+			argmin := 0
+			for ci := range choices {
+				o := cfg.Obj(&choices[ci])
+				objs = append(objs, o)
+				if o < objs[argmin] {
+					argmin = ci
+				}
+			}
+			// Screen before paying for probes: if the lowest-objective
+			// choice is itself acceptable, its flat clamped line caps the
+			// envelope at q(λ) ≤ q0 for every λ while q(0) = q0 — so
+			// q* = q0 with λ* = 0 no matter what the other choices' slacks
+			// are, and none of them needs a delay probe.  Under loose
+			// budgets (the common case on big circuits) this skips almost
+			// every probe in the build.
+			if slackOf(&choices[argmin]) == 0 {
+				e.Known[gi][s] = objs[argmin]
+				unknown = math.Min(unknown, objs[argmin])
+				continue
+			}
+			slacks = slacks[:0]
+			for ci := range choices {
+				slacks = append(slacks, slackOf(&choices[ci]))
+			}
+			var warm *float64
+			if cfg.Warm != nil {
+				l := 0.0
+				if wl, ok := cfg.Warm.Get(gi, s); ok {
+					l = wl
+				}
+				warm = &l
+			}
+			q, lambda := solveDual(objs, slacks, warm)
+			e.Known[gi][s] = q
+			e.Lambda[gi][s] = lambda
+			if lambda > 0 {
+				e.improved++
+			}
+			unknown = math.Min(unknown, q)
+		}
+		e.Unknown[gi] = unknown
+	}
+	return e, nil
+}
+
+// solveDual maximizes q(λ) = min_i (objs[i] + λ·slacks[i]) over λ ≥ 0.  The
+// envelope is concave piecewise-linear, so the maximum is attained at λ = 0
+// or at a crossing of two choice lines; every candidate is evaluated and the
+// best (value, then smallest λ) wins, deterministically.  When warm is
+// non-nil the scan is skipped and only {0, *warm} are evaluated — valid for
+// any λ ≥ 0 (every multiplier yields an admissible bound), and exact when
+// *warm is a previous Build's λ* for the same lines.
+func solveDual(objs, slacks []float64, warm *float64) (q, lambda float64) {
+	q0 := math.Inf(1)
+	for _, o := range objs {
+		if o < q0 {
+			q0 = o
+		}
+	}
+	q, lambda = q0, 0
+	// Fast path: if some λ=0 argmin already has non-positive slack, the
+	// one-sided derivative at 0 is ≤ 0 and λ = 0 is dual-optimal.
+	for i, o := range objs {
+		if o == q0 && slacks[i] <= 0 {
+			return q, 0
+		}
+	}
+	try := func(l float64) {
+		if !(l > 0) || math.IsInf(l, 0) || math.IsNaN(l) {
+			return
+		}
+		v := math.Inf(1)
+		for i, o := range objs {
+			c := o + l*slacks[i]
+			if c < v {
+				v = c
+			}
+		}
+		if v > q || (v == q && l < lambda) {
+			q, lambda = v, l
+		}
+	}
+	if warm != nil {
+		try(*warm)
+		return q, lambda
+	}
+	for i := range objs {
+		for j := i + 1; j < len(objs); j++ {
+			if slacks[i] == slacks[j] {
+				continue
+			}
+			// Crossing of lines i and j: obj_i + λ·slack_i = obj_j + λ·slack_j.
+			try((objs[i] - objs[j]) / (slacks[j] - slacks[i]))
+		}
+	}
+	return q, lambda
+}

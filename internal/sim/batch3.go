@@ -19,7 +19,9 @@ const Lanes = 64
 //
 // Alongside the logic sweep, Sweep accumulates the same additive admissible
 // bound Inc3 maintains — per gate, known[g][state] when every fan-in is
-// known in that lane, unknown[g] otherwise — into a per-lane bound vector.
+// known in that lane, the PatternMin of the row over the lane's partial
+// pattern otherwise (unknown[g], the precomputed row minimum, when every
+// fan-in is X) — into a per-lane bound vector.
 // Each lane's sum is accumulated in gate index order with the identical
 // sequence of float64 additions Inc3.Bound performs, so Bound(l) is bit for
 // bit the value an Inc3 holding lane l's assignment would return.  That is
@@ -36,6 +38,10 @@ type Batch3 struct {
 	// shared with (and identical to) the ones the paired Inc3 uses.
 	known   [][]float64
 	unknown []float64
+	// coarse drops the pattern-minimum refinement (any X fan-in → the
+	// gate contributes unknown[g]), mirroring Inc3's coarse mode so the
+	// batch and incremental engines of one baseline stay bit-identical.
+	coarse bool
 
 	val []uint64 // per net: lane value bits (canonically 0 where unknown)
 	kn  []uint64 // per net: lane known bits
@@ -47,9 +53,9 @@ type Batch3 struct {
 }
 
 // NewBatch3 builds a batch engine over the compiled netlist with the given
-// contribution tables, initialized to all-X in every lane.  The table shape
-// requirements match NewInc3's: known holds one row per gate with
-// 2^fanin entries, unknown one entry per gate.
+// contribution tables, initialized to all-X in every lane.  The table
+// requirements match NewInc3's: known holds one row per gate with 2^fanin
+// entries, unknown one entry per gate equal to the row minimum.
 func NewBatch3(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Batch3, error) {
 	if len(known) != len(cc.Gates) || len(unknown) != len(cc.Gates) {
 		return nil, fmt.Errorf("sim: contribution tables for %d/%d gates, circuit has %d",
@@ -68,6 +74,18 @@ func NewBatch3(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Bat
 		val:     make([]uint64, cc.NumNets()),
 		kn:      make([]uint64, cc.NumNets()),
 	}, nil
+}
+
+// NewBatch3Coarse builds a batch engine whose lanes contribute unknown[g]
+// whenever any fan-in of g is X, instead of the tighter pattern minimum —
+// the batch counterpart of NewInc3Coarse, for the state-only baseline.
+func NewBatch3Coarse(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Batch3, error) {
+	b, err := NewBatch3(cc, known, unknown)
+	if err != nil {
+		return nil, err
+	}
+	b.coarse = true
+	return b, nil
 }
 
 // Reset returns every primary input to X in every lane.  Gate nets need no
@@ -170,21 +188,30 @@ func (b *Batch3) Sweep(lanes int) {
 
 		// Bound accumulation: each lane adds exactly the contribution an
 		// Inc3 holding that lane's assignment would, in the same gate
-		// order.  The uniform fast path covers the (dominant) gates whose
-		// fan-ins agree across every active lane: one table lookup, then
-		// the same scalar added to each lane.
+		// order — known[g][state] for a fully known pattern, the
+		// PatternMin of the row for a partial one (unknown[g], the
+		// precomputed row minimum, when every fan-in is X).  The uniform
+		// fast path covers the (dominant) gates whose fan-ins agree across
+		// every active lane: one contribution computed once, then the same
+		// scalar added to each lane.
+		full := (uint(1) << uint(fanin)) - 1
 		if uniform {
-			var c float64
-			if allKn&mask == mask {
-				var state uint
-				for k := 0; k < fanin; k++ {
-					if b.vbuf[k]&mask != 0 {
-						state |= 1 << uint(k)
-					}
+			var state, xmask uint
+			for k := 0; k < fanin; k++ {
+				if b.kbuf[k]&mask != mask {
+					xmask |= 1 << uint(k)
+				} else if b.vbuf[k]&mask != 0 {
+					state |= 1 << uint(k)
 				}
+			}
+			var c float64
+			switch {
+			case xmask == 0:
 				c = b.known[gi][state]
-			} else {
+			case b.coarse || xmask == full:
 				c = b.unknown[gi]
+			default:
+				c = PatternMin(b.known[gi], state, xmask)
 			}
 			for l := 0; l < lanes; l++ {
 				b.bounds[l] += c
@@ -194,15 +221,27 @@ func (b *Batch3) Sweep(lanes int) {
 		row := b.known[gi]
 		unk := b.unknown[gi]
 		for l := 0; l < lanes; l++ {
-			if allKn>>uint(l)&1 == 0 {
-				b.bounds[l] += unk
+			bit := uint64(1) << uint(l)
+			var state, xmask uint
+			if allKn&bit != 0 {
+				for k := 0; k < fanin; k++ {
+					state |= uint(b.vbuf[k]>>uint(l)&1) << uint(k)
+				}
+				b.bounds[l] += row[state]
 				continue
 			}
-			var state uint
 			for k := 0; k < fanin; k++ {
-				state |= uint(b.vbuf[k]>>uint(l)&1) << uint(k)
+				if b.kbuf[k]&bit == 0 {
+					xmask |= 1 << uint(k)
+				} else if b.vbuf[k]&bit != 0 {
+					state |= 1 << uint(k)
+				}
 			}
-			b.bounds[l] += row[state]
+			if b.coarse || xmask == full {
+				b.bounds[l] += unk
+			} else {
+				b.bounds[l] += PatternMin(row, state, xmask)
+			}
 		}
 	}
 }

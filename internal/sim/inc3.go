@@ -9,8 +9,10 @@ import (
 // Inc3 is an incremental 3-valued bound engine: it maintains the net values
 // of a partial primary-input assignment together with each gate's current
 // contribution to an additive lower bound (a caller-supplied per-gate table
-// indexed by the gate's known input state, falling back to a per-gate
-// "unknown" value while any fan-in is X).
+// indexed by the gate's known input state; while some fan-ins are X the
+// gate contributes the pattern minimum — the table minimum over every
+// completion of the X inputs — so states already ruled out by the assigned
+// inputs cannot drag the bound down).
 //
 // Flipping one primary input with Assign re-evaluates only the gates inside
 // the input's fanout cone, event-driven in topological order, and records an
@@ -21,15 +23,29 @@ import (
 // index order, which is what keeps bound-guided searches deterministic when
 // they swap full re-simulation for this engine.
 //
+// The contribution tables are caller-defined, which is what lets one engine
+// type serve two different bounds: the search's cheap minChoice/minAny
+// leakage tables, and the Lagrangian dual tables relax.Engine precomputes
+// (where each entry already folds in the optimal multiplier's delay term).
+// Both obey the same admissibility contract — entry ≤ the leakage of every
+// completion consistent with that gate state — so Bound() stays a valid
+// lower bound regardless of which table family is plugged in.
+//
 // The hot path (Assign, Bound, Undo) allocates nothing once the internal
 // trails have grown to their working size.  An Inc3 is not safe for
 // concurrent use; searches give each worker its own engine.
 type Inc3 struct {
 	cc *netlist.Compiled
 	// known[g][s] is gate g's bound contribution when its input state s is
-	// known; unknown[g] its contribution while any fan-in is X.
+	// known; partial patterns contribute PatternMin over the row, with
+	// unknown[g] — the caller-precomputed row minimum — serving the all-X
+	// pattern.
 	known   [][]float64
 	unknown []float64
+	// coarse drops the pattern-minimum refinement: any X fan-in makes the
+	// gate contribute unknown[g].  NewInc3Coarse sets it for baselines
+	// that must reproduce the classic state-only bound.
+	coarse bool
 
 	vals    []Value   // current value of every net
 	contrib []float64 // current bound contribution of every gate
@@ -65,7 +81,8 @@ type incMark struct {
 // NewInc3 builds an engine over the compiled netlist with the given
 // contribution tables, initialized to the all-X (fully unassigned) input.
 // known must hold one row per gate with 2^fanin entries; unknown one entry
-// per gate.
+// per gate, equal to the minimum of the gate's known row (the all-X
+// pattern's contribution — see PatternMin).
 func NewInc3(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Inc3, error) {
 	if len(known) != len(cc.Gates) || len(unknown) != len(cc.Gates) {
 		return nil, fmt.Errorf("sim: contribution tables for %d/%d gates, circuit has %d",
@@ -95,6 +112,20 @@ func NewInc3(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Inc3,
 		e.vals[cc.Gates[gi].Out] = v
 		e.contrib[gi] = c
 	}
+	return e, nil
+}
+
+// NewInc3Coarse builds an engine that contributes unknown[g] whenever any
+// fan-in of g is X, instead of the tighter pattern minimum.  The state-only
+// comparison baseline uses it: that baseline reproduces the prior
+// state-assignment approach, whose published guidance is the coarse bound,
+// so tightening it would change the baseline being compared against.
+func NewInc3Coarse(cc *netlist.Compiled, known [][]float64, unknown []float64) (*Inc3, error) {
+	e, err := NewInc3(cc, known, unknown)
+	if err != nil {
+		return nil, err
+	}
+	e.coarse = true
 	return e, nil
 }
 
@@ -157,23 +188,28 @@ func (e *Inc3) Undo() {
 // current net values.
 func (e *Inc3) evalGate(gi int32) (Value, float64) {
 	g := &e.cc.Gates[gi]
-	known := true
-	var state uint
+	var state, xmask uint
 	for k, net := range g.In {
 		v := e.vals[net]
 		e.inBuf[k] = v
 		switch v {
 		case X:
-			known = false
+			xmask |= 1 << uint(k)
 		case True:
 			state |= 1 << uint(k)
 		}
 	}
 	out := Eval3Op(g.Op, e.inBuf[:len(g.In)])
-	if known {
+	switch {
+	case xmask == 0:
 		return out, e.known[gi][state]
+	case e.coarse || xmask == (uint(1)<<uint(len(g.In)))-1:
+		// All inputs X (or coarse mode, where any X falls back the same
+		// way): unknown[g] is the precomputed row minimum, the value
+		// PatternMin would return over the full mask.
+		return out, e.unknown[gi]
 	}
-	return out, e.unknown[gi]
+	return out, PatternMin(e.known[gi], state, xmask)
 }
 
 // propagate drains the pending-gate heap in topological (index) order,

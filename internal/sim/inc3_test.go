@@ -32,7 +32,8 @@ func refBoundTables(cc *netlist.Compiled, seed int64) (known [][]float64, unknow
 }
 
 // refBound is the slow-path reference: a fresh Eval3 pass summed in gate
-// index order, exactly what Inc3.Bound must reproduce bit for bit.
+// index order — known state lookup, PatternMin for partial patterns,
+// unknown for all-X — exactly what Inc3.Bound must reproduce bit for bit.
 func refBound(t *testing.T, cc *netlist.Compiled, pi []Value, known [][]float64, unknown []float64) float64 {
 	t.Helper()
 	vals, err := Eval3(cc, pi)
@@ -41,10 +42,15 @@ func refBound(t *testing.T, cc *netlist.Compiled, pi []Value, known [][]float64,
 	}
 	b := 0.0
 	for gi := range cc.Gates {
-		if s, ok := KnownGateState(&cc.Gates[gi], vals); ok {
-			b += known[gi][s]
-		} else {
+		g := &cc.Gates[gi]
+		state, xmask := GateState3(g, vals)
+		switch {
+		case xmask == 0:
+			b += known[gi][state]
+		case xmask == (uint(1)<<uint(len(g.In)))-1:
 			b += unknown[gi]
+		default:
+			b += PatternMin(known[gi], state, xmask)
 		}
 	}
 	return b

@@ -217,6 +217,43 @@ func KnownGateState(g *netlist.CGate, vals []Value) (uint, bool) {
 	return s, true
 }
 
+// GateState3 gathers a gate's 3-valued input pattern: state holds the bits
+// of fan-ins that are definitely True, xmask the bits that are still X.
+// xmask == 0 means the full state is known.
+func GateState3(g *netlist.CGate, vals []Value) (state, xmask uint) {
+	for k, net := range g.In {
+		switch vals[net] {
+		case X:
+			xmask |= 1 << uint(k)
+		case True:
+			state |= 1 << uint(k)
+		}
+	}
+	return state, xmask
+}
+
+// PatternMin returns the tightest admissible contribution a per-state table
+// supports for a partially known input pattern: the minimum of row over
+// every completion of the X bits in xmask.  Definite-input bits outside
+// xmask are fixed by state.  This dominates the all-states row minimum
+// whenever at least one input is known — states inconsistent with the
+// assigned inputs no longer drag the contribution down.  The result is a
+// pure function of (row, state, xmask); min over a fixed value set is
+// order-independent, so every engine computing it over the same row agrees
+// bit for bit.
+func PatternMin(row []float64, state, xmask uint) float64 {
+	m := row[state|xmask]
+	for s := (xmask - 1) & xmask; ; s = (s - 1) & xmask {
+		if v := row[state|s]; v < m {
+			m = v
+		}
+		if s == 0 {
+			break
+		}
+	}
+	return m
+}
+
 // RandomVectors generates count deterministic pseudo-random input vectors
 // of the given width.
 func RandomVectors(seed int64, width, count int) [][]bool {

@@ -68,6 +68,7 @@ func (c *Compiled) CoreOptions(req Request) (core.Options, error) {
 		TimeLimit:    req.Search.TimeLimit(),
 		Workers:      req.Search.Workers,
 		Seed:         req.Search.Seed,
+		Portfolio:    req.Search.Portfolio,
 		MaxLeaves:    req.Search.MaxLeaves,
 		RefinePasses: req.Search.RefinePasses,
 	}, nil
@@ -101,6 +102,10 @@ func (c *Compiled) BuildResult(req Request, sol *core.Solution) (*Result, error)
 			LeafCacheHits:    sol.Stats.LeafCacheHits,
 			BatchSweeps:      sol.Stats.BatchSweeps,
 			BatchLanes:       sol.Stats.BatchLanes,
+			BatchOccupancy:   BatchOccupancy(sol.Stats.BatchSweeps, sol.Stats.BatchLanes),
+			RelaxBounds:      sol.Stats.RelaxBounds,
+			RelaxPruned:      sol.Stats.RelaxPruned,
+			PortfolioWins:    sol.Stats.PortfolioWins,
 			Runtime:          sol.Stats.Runtime,
 			Interrupted:      sol.Stats.Interrupted,
 			CheckpointWrites: sol.Stats.CheckpointWrites,
@@ -143,14 +148,18 @@ func (c *Compiled) BuildResult(req Request, sol *core.Solution) (*Result, error)
 // coreProgress converts a core progress snapshot to the public shape.
 func coreProgress(p core.Progress) Progress {
 	return Progress{
-		StateNodes:    p.StateNodes,
-		GateTrials:    p.GateTrials,
-		Leaves:        p.Leaves,
-		Pruned:        p.Pruned,
-		LeafCacheHits: p.LeafCacheHits,
-		BatchSweeps:   p.BatchSweeps,
-		BatchLanes:    p.BatchLanes,
-		BestLeakNA:    p.BestLeak,
-		Elapsed:       p.Elapsed,
+		StateNodes:     p.StateNodes,
+		GateTrials:     p.GateTrials,
+		Leaves:         p.Leaves,
+		Pruned:         p.Pruned,
+		LeafCacheHits:  p.LeafCacheHits,
+		BatchSweeps:    p.BatchSweeps,
+		BatchLanes:     p.BatchLanes,
+		BatchOccupancy: BatchOccupancy(p.BatchSweeps, p.BatchLanes),
+		RelaxBounds:    p.RelaxBounds,
+		RelaxPruned:    p.RelaxPruned,
+		PortfolioWins:  p.PortfolioWins,
+		BestLeakNA:     p.BestLeak,
+		Elapsed:        p.Elapsed,
 	}
 }

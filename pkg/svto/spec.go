@@ -130,8 +130,14 @@ type SearchSpec struct {
 	// MaxLeaves bounds the number of complete states evaluated; 0 means
 	// unlimited.  The budget spans resumed runs.
 	MaxLeaves int64 `json:"max_leaves,omitempty"`
-	// Seed drives baseline vectors and parallel task shuffling.
+	// Seed drives baseline vectors, parallel task shuffling and the
+	// portfolio explorers' random restarts.
 	Seed int64 `json:"seed,omitempty"`
+	// Portfolio races stochastic explorer strategies against the tree
+	// search under the shared incumbent (needs Workers > 1; see
+	// core.Options.Portfolio).  The final objective on exhaustive searches
+	// is unchanged — only how fast bad subtrees are cut.
+	Portfolio bool `json:"portfolio,omitempty"`
 	// BaselineVectors, when > 0, estimates the unoptimized average leakage
 	// over that many random vectors (Result.BaselineNA, ReductionX).
 	BaselineVectors int `json:"baseline_vectors,omitempty"`

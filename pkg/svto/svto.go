@@ -77,12 +77,32 @@ type Progress struct {
 	// memoization instead of a fresh gate-tree descent.
 	LeafCacheHits int64 `json:"leaf_cache_hits,omitempty"`
 	// BatchSweeps counts 64-lane batched bound sweeps and BatchLanes the
-	// probe lanes they retired; BatchLanes/BatchSweeps is the mean lane
-	// occupancy of the batched evaluator.
-	BatchSweeps int64         `json:"batch_sweeps,omitempty"`
-	BatchLanes  int64         `json:"batch_lanes,omitempty"`
-	BestLeakNA  float64       `json:"best_leak_na"` // incumbent total leakage (nA)
-	Elapsed     time.Duration `json:"elapsed_ns"`   // time since the search started
+	// probe lanes they retired; BatchOccupancy is their ratio — the mean
+	// lane occupancy of the batched evaluator (0 when it is disabled).
+	BatchSweeps    int64   `json:"batch_sweeps,omitempty"`
+	BatchLanes     int64   `json:"batch_lanes,omitempty"`
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
+	// RelaxBounds / RelaxPruned instrument the Lagrangian bound cascade:
+	// relaxation probes paid and the branches they pruned.
+	RelaxBounds int64 `json:"relax_bounds,omitempty"`
+	RelaxPruned int64 `json:"relax_pruned,omitempty"`
+	// PortfolioWins counts incumbent improvements won by the racing
+	// portfolio explorers.
+	PortfolioWins int64         `json:"portfolio_wins,omitempty"`
+	BestLeakNA    float64       `json:"best_leak_na"` // incumbent total leakage (nA)
+	Elapsed       time.Duration `json:"elapsed_ns"`   // time since the search started
+}
+
+// BatchOccupancy computes the mean lane occupancy of the batched bound
+// evaluator from its raw counters — the presentation-side derivation the CLI
+// and daemon report instead of the two counters.  Raw counters stay on every
+// wire format because they are additive across shards and resume cycles;
+// the ratio is not.
+func BatchOccupancy(sweeps, lanes int64) float64 {
+	if sweeps == 0 {
+		return 0
+	}
+	return float64(lanes) / float64(sweeps)
 }
 
 // Checkpoint configures crash-safe search execution.  It is an execution
@@ -132,11 +152,17 @@ type Stats struct {
 	// LeafCacheHits counts leaves answered from the leaf-dedup cache.
 	LeafCacheHits int64 `json:"leaf_cache_hits,omitempty"`
 	// BatchSweeps / BatchLanes instrument the 64-lane batched bound
-	// evaluator (zero when it is disabled).
-	BatchSweeps int64         `json:"batch_sweeps,omitempty"`
-	BatchLanes  int64         `json:"batch_lanes,omitempty"`
-	Runtime     time.Duration `json:"runtime_ns"`
-	Interrupted bool          `json:"interrupted,omitempty"` // search cut short by cancellation or limits
+	// evaluator (zero when it is disabled); BatchOccupancy is their ratio.
+	BatchSweeps    int64   `json:"batch_sweeps,omitempty"`
+	BatchLanes     int64   `json:"batch_lanes,omitempty"`
+	BatchOccupancy float64 `json:"batch_occupancy,omitempty"`
+	// RelaxBounds / RelaxPruned instrument the Lagrangian bound cascade;
+	// PortfolioWins counts incumbent improvements from portfolio explorers.
+	RelaxBounds   int64         `json:"relax_bounds,omitempty"`
+	RelaxPruned   int64         `json:"relax_pruned,omitempty"`
+	PortfolioWins int64         `json:"portfolio_wins,omitempty"`
+	Runtime       time.Duration `json:"runtime_ns"`
+	Interrupted   bool          `json:"interrupted,omitempty"` // search cut short by cancellation or limits
 	// WorkerFailures describes search workers that panicked and were
 	// isolated (one message per dead worker); empty on a clean run.
 	WorkerFailures []string `json:"worker_failures,omitempty"`
@@ -363,18 +389,14 @@ func isMapped(c *netlist.Circuit) bool {
 }
 
 func coreAlgorithm(a Algorithm) (core.Algorithm, error) {
-	switch a {
-	case "", Heuristic1:
+	if a == "" {
 		return core.AlgHeuristic1, nil
-	case Heuristic2:
-		return core.AlgHeuristic2, nil
-	case Exact:
-		return core.AlgExact, nil
-	case StateOnly:
-		return core.AlgStateOnly, nil
-	default:
+	}
+	alg, err := core.ParseAlgorithm(string(a))
+	if err != nil {
 		return 0, fmt.Errorf("svto: unknown algorithm %q", a)
 	}
+	return alg, nil
 }
 
 func libraryOptions(l Library) (library.Options, error) {
