@@ -186,6 +186,7 @@ func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitW
 			fmt.Printf("             checkpoint writes %d (errors %d)\n",
 				res.Stats.CheckpointWrites, res.Stats.CheckpointErrors)
 		}
+		printClusterHealth(ctx, baseURL)
 	}
 	for _, wf := range res.WorkerFailures {
 		fmt.Fprintf(os.Stderr, "leakopt: warning: %s\n", wf)
@@ -231,6 +232,48 @@ func submit(ctx context.Context, baseURL string, req svto.Request, csvOut, emitW
 		}
 	}
 	return nil
+}
+
+// printClusterHealth fetches GET /v1/stats and, when the daemon runs in
+// cluster mode, prints per-shard and coordinator transport degradation —
+// retries, timeouts, re-registrations, duplicate completions — so a lossy
+// network is visible right where the result is read.  Best-effort: a
+// daemon without the endpoint (or not in cluster mode) prints nothing.
+func printClusterHealth(ctx context.Context, baseURL string) {
+	get, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/stats", nil)
+	if err != nil {
+		return
+	}
+	resp, err := http.DefaultClient.Do(get)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var stats jobs.StatsView
+	if json.NewDecoder(resp.Body).Decode(&stats) != nil || stats.Cluster == nil {
+		return
+	}
+	cl := stats.Cluster
+	for _, s := range cl.Shards {
+		live := "live"
+		if !s.Live {
+			live = "lost"
+		}
+		line := fmt.Sprintf("             shard %-12s %s, %d workers", s.Name, live, s.Workers)
+		if h := s.Health; h != nil && (h.Retries > 0 || h.GiveUps > 0 || h.Reregistrations > 0 || h.RestartsSeen > 0) {
+			line += fmt.Sprintf("; retries %d (timeouts %d), give-ups %d, re-registrations %d, restarts seen %d",
+				h.Retries, h.Timeouts, h.GiveUps, h.Reregistrations, h.RestartsSeen)
+		}
+		fmt.Println(line)
+	}
+	h := cl.Health
+	if h.DuplicateCompletions > 0 || h.LateCompletions > 0 || h.LeaseExpiries > 0 || h.StaleNonceRequests > 0 {
+		fmt.Printf("             coordinator: duplicate completions %d, late completions %d, lease expiries %d, stale-nonce rejections %d\n",
+			h.DuplicateCompletions, h.LateCompletions, h.LeaseExpiries, h.StaleNonceRequests)
+	}
 }
 
 // decodeView reads a jobs.View response, surfacing the daemon's error

@@ -54,6 +54,10 @@ import (
 	"svto/pkg/svto"
 )
 
+// maxRequestBytes caps a job submission's JSON body: far above any real
+// netlist request, far below anything that could exhaust memory.
+const maxRequestBytes = 64 << 20
+
 func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
@@ -70,6 +74,9 @@ func main() {
 		shardMode = flag.Bool("shard", false, "shard mode: work for a coordinator instead of serving the job API")
 		coordURL  = flag.String("coordinator", "", "coordinator base URL (required with -shard)")
 		shardName = flag.String("shard-name", "", "shard name (default hostname-pid)")
+
+		chaosSpec  = flag.String("chaos", "", `inject seeded network faults into this shard's outbound RPCs, e.g. "seed=7,drop=0.1,dup=0.1,delay=0.2,maxdelay=20ms" (testing only)`)
+		chaosServe = flag.String("chaos-server", "", "inject seeded faults into the coordinator's cluster replies (testing only); same spec syntax as -chaos")
 	)
 	flag.Parse()
 
@@ -79,14 +86,25 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-		defer stop()
-		if err := dist.RunShard(ctx, dist.ShardConfig{
+		cfg := dist.ShardConfig{
 			Coordinator: *coordURL,
 			Name:        *shardName,
 			Workers:     *workers,
 			Logf:        log.Printf,
-		}); err != nil {
+		}
+		if *chaosSpec != "" {
+			chaos, err := dist.ParseChaosSpec(*chaosSpec)
+			if err != nil {
+				log.Fatalf("leakoptd: -chaos: %v", err)
+			}
+			ct := dist.NewChaosTransport(chaos, nil)
+			cfg.Client = &http.Client{Transport: ct, Timeout: 30 * time.Second}
+			defer func() { log.Printf("leakoptd: chaos injected: %s", dist.FormatChaosStats(ct.Stats())) }()
+			log.Printf("leakoptd: shard transport chaos enabled: %q", *chaosSpec)
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := dist.RunShard(ctx, cfg); err != nil {
 			log.Fatalf("leakoptd: %v", err)
 		}
 		log.Print("leakoptd: shard stopped, bye")
@@ -120,7 +138,28 @@ func main() {
 		log.Printf("leakoptd: %d orphan snapshot(s) in state dir: %v", len(orphans), orphans)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newHandler(mgr, coord, *debug)}
+	var serverChaos dist.ChaosConfig
+	if *chaosServe != "" {
+		if coord == nil {
+			log.Fatal("leakoptd: -chaos-server requires -cluster")
+		}
+		var perr error
+		if serverChaos, perr = dist.ParseChaosSpec(*chaosServe); perr != nil {
+			log.Fatalf("leakoptd: -chaos-server: %v", perr)
+		}
+		log.Printf("leakoptd: coordinator reply chaos enabled: %q", *chaosServe)
+	}
+
+	// Slowloris/resource hardening: bound how long a client may dribble
+	// headers or a body and how long idle keep-alives are held.  No
+	// WriteTimeout — artifact downloads and long GETs are legitimate.
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           newHandler(mgr, coord, serverChaos, *debug),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -146,7 +185,7 @@ func main() {
 // newHandler wires the job API onto a mux; separated from main so tests
 // can serve a Manager through httptest.  coord (coordinator mode) mounts
 // the shard wire protocol; debug mounts pprof.
-func newHandler(mgr *jobs.Manager, coord *dist.Coordinator, debug bool) http.Handler {
+func newHandler(mgr *jobs.Manager, coord *dist.Coordinator, serverChaos dist.ChaosConfig, debug bool) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -158,7 +197,9 @@ func newHandler(mgr *jobs.Manager, coord *dist.Coordinator, debug bool) http.Han
 	})
 
 	if coord != nil {
-		mux.Handle(dist.APIPrefix+"/", coord.Handler())
+		// Chaos (when configured) wraps only the cluster endpoints: the
+		// shard protocol is built for a lossy network, the job API is not.
+		mux.Handle(dist.APIPrefix+"/", dist.ChaosMiddleware(serverChaos, coord.Handler()))
 	}
 	if debug {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -170,9 +211,14 @@ func newHandler(mgr *jobs.Manager, coord *dist.Coordinator, debug bool) http.Han
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		var req svto.Request
-		dec := json.NewDecoder(r.Body)
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				httpError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", int64(maxRequestBytes)))
+				return
+			}
 			httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
 			return
 		}

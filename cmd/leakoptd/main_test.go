@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"svto/internal/gen"
+	"svto/internal/dist"
 	"svto/internal/jobs"
 	"svto/internal/netlist"
 	"svto/pkg/svto"
@@ -106,7 +107,7 @@ func TestJobAPIEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mgr.Close()
-	srv := httptest.NewServer(newHandler(mgr, nil, false))
+	srv := httptest.NewServer(newHandler(mgr, nil, dist.ChaosConfig{}, false))
 	defer srv.Close()
 
 	if resp, err := http.Get(srv.URL + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
@@ -226,7 +227,7 @@ func TestRestartResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv1 := httptest.NewServer(newHandler(mgr1, nil, false))
+	srv1 := httptest.NewServer(newHandler(mgr1, nil, dist.ChaosConfig{}, false))
 
 	v := postJob(t, srv1.URL, svto.Request{
 		Design: svto.DesignSpec{Bench: benchText(t, "restart", 11, 12, 90), Name: "restart"},
@@ -261,7 +262,7 @@ func TestRestartResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer mgr2.Close()
-	srv2 := httptest.NewServer(newHandler(mgr2, nil, false))
+	srv2 := httptest.NewServer(newHandler(mgr2, nil, dist.ChaosConfig{}, false))
 	defer srv2.Close()
 
 	done := waitDone(t, srv2.URL, v.ID, 120*time.Second)

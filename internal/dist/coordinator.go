@@ -2,6 +2,8 @@ package dist
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +19,11 @@ import (
 	"svto/internal/library"
 	"svto/pkg/svto"
 )
+
+// maxWireBody caps every JSON request body the coordinator (and the
+// daemon's job API) will read, so a confused or malicious client cannot
+// exhaust memory with an unbounded POST.
+const maxWireBody = 64 << 20
 
 // Config tunes a Coordinator.  The zero value is usable.
 type Config struct {
@@ -49,9 +56,16 @@ type Config struct {
 // Lock order: Coordinator.mu and run.mu are never held together; a run may
 // touch its SharedIncumbent's lock while holding run.mu, never the reverse.
 type Coordinator struct {
-	cfg Config
+	cfg   Config
+	nonce string // per-process run nonce, fencing restarts
 
 	leases atomic.Int64 // lease id allocator
+
+	// Transport-degradation counters surfaced by Health().
+	dupCompletions  atomic.Int64 // duplicated /complete deliveries dropped
+	lateCompletions atomic.Int64 // completions after their lease expired
+	leaseExpiries   atomic.Int64 // leases re-queued by the TTL scan
+	staleNonces     atomic.Int64 // requests fenced off with 409
 
 	mu     sync.Mutex
 	shards map[string]*shardInfo
@@ -61,6 +75,7 @@ type Coordinator struct {
 type shardInfo struct {
 	workers  int
 	lastSeen time.Time
+	health   *ShardHealth // last snapshot reported on register/sync
 }
 
 // ShardStatus is one registered shard's health, for /v1/stats.
@@ -69,6 +84,20 @@ type ShardStatus struct {
 	Workers  int           `json:"workers"`
 	LastSeen time.Duration `json:"last_seen_ns"` // time since last contact
 	Live     bool          `json:"live"`
+	// Health is the shard's own transport-degradation snapshot, as last
+	// reported on a register or sync request.
+	Health *ShardHealth `json:"health,omitempty"`
+}
+
+// CoordinatorHealth counts the coordinator-side symptoms of a misbehaving
+// network, for /v1/stats: each is benign in isolation (the protocol is
+// built to absorb them) but a climbing rate is the operator's first signal
+// of packet loss or a flapping shard.
+type CoordinatorHealth struct {
+	DuplicateCompletions int64 `json:"duplicate_completions,omitempty"`
+	LateCompletions      int64 `json:"late_completions,omitempty"`
+	LeaseExpiries        int64 `json:"lease_expiries,omitempty"`
+	StaleNonceRequests   int64 `json:"stale_nonce_requests,omitempty"`
 }
 
 // New creates a coordinator.
@@ -84,8 +113,34 @@ func New(cfg Config) *Coordinator {
 	}
 	return &Coordinator{
 		cfg:    cfg,
+		nonce:  newNonce(),
 		shards: make(map[string]*shardInfo),
 		runs:   make(map[string]*run),
+	}
+}
+
+// newNonce draws a fresh run nonce.  Cryptographic randomness is not
+// required for correctness — only that two coordinator incarnations
+// practically never collide — but crypto/rand is the cheapest source with
+// that property.
+func newNonce() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		return fmt.Sprintf("t%d", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Nonce returns this coordinator incarnation's run nonce.
+func (c *Coordinator) Nonce() string { return c.nonce }
+
+// Health returns the coordinator-side degradation counters.
+func (c *Coordinator) Health() CoordinatorHealth {
+	return CoordinatorHealth{
+		DuplicateCompletions: c.dupCompletions.Load(),
+		LateCompletions:      c.lateCompletions.Load(),
+		LeaseExpiries:        c.leaseExpiries.Load(),
+		StaleNonceRequests:   c.staleNonces.Load(),
 	}
 }
 
@@ -103,8 +158,8 @@ func (c *Coordinator) fs() checkpoint.FS {
 }
 
 // touch registers or refreshes a shard; workers < 0 keeps the recorded
-// count.
-func (c *Coordinator) touch(shard string, workers int) {
+// count, a nil health keeps the last reported snapshot.
+func (c *Coordinator) touch(shard string, workers int, health *ShardHealth) {
 	if shard == "" {
 		return
 	}
@@ -117,6 +172,9 @@ func (c *Coordinator) touch(shard string, workers int) {
 	}
 	if workers >= 0 {
 		si.workers = workers
+	}
+	if health != nil {
+		si.health = health
 	}
 	si.lastSeen = time.Now()
 }
@@ -139,6 +197,7 @@ func (c *Coordinator) Shards() []ShardStatus {
 			Workers:  si.workers,
 			LastSeen: age,
 			Live:     age <= c.cfg.LeaseTTL,
+			Health:   si.health,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].LastSeen < out[j].LastSeen })
@@ -204,6 +263,10 @@ type run struct {
 	pendingSet map[int64]bool
 	done       map[int64]bool
 	leases     map[int64]*lease
+	// doneLeases marks lease ids whose completion was already credited, so
+	// a duplicated /complete delivery (the client retries replies it never
+	// saw) is recognized as a duplicate rather than a late completion.
+	doneLeases map[int64]bool
 	stats      checkpoint.Stats
 	leavesUsed int64
 	failures   []core.WorkerFailure
@@ -275,6 +338,7 @@ func (c *Coordinator) Run(ctx context.Context, jobID string, req svto.Request, o
 		pendingSet: make(map[int64]bool),
 		done:       make(map[int64]bool),
 		leases:     make(map[int64]*lease),
+		doneLeases: make(map[int64]bool),
 		doneCh:     make(chan struct{}),
 		lastCk:     start,
 	}
@@ -568,6 +632,7 @@ func (r *run) expireLeases() {
 			}
 		}
 		delete(r.leases, id)
+		r.c.leaseExpiries.Add(1)
 		r.c.logf("dist: job %s: shard %s lease %d expired, %d tasks re-queued", r.jobID, l.shard, id, requeued)
 		if requeued > 0 {
 			r.failures = append(r.failures, core.WorkerFailure{
@@ -709,26 +774,37 @@ func (r *run) lease(req LeaseRequest) LeaseReply {
 	return reply
 }
 
-// stealLocked duplicates the tail half of the busiest other-shard lease
-// when the pending queue has drained: the thief races the original holder
-// over the same task ids, the done-set keeps whichever finishes first and
-// de-duplicates the other's credit.  Callers hold r.mu.
+// stealLocked duplicates the tail half of the busiest lease when the
+// pending queue has drained: the thief races the original holder over the
+// same task ids, the done-set keeps whichever finishes first and
+// de-duplicates the other's credit.  Other shards' leases are preferred,
+// but a shard may steal from itself — that resolves the phantom-lease
+// case, where a lease-grant reply was lost on the network and the
+// "holder" (this very shard, which completes each batch before leasing
+// another) never learned of it, yet stays live so the lease never
+// expires.  Callers hold r.mu.
 func (r *run) stealLocked(thief string, max int) []int64 {
 	var victim *lease
 	var victimOpen []int64
-	for _, l := range r.leases {
-		if l.shard == thief {
-			continue
-		}
-		var open []int64
-		for _, id := range l.ids {
-			if !r.done[id] {
-				open = append(open, id)
+	pick := func(own bool) {
+		for _, l := range r.leases {
+			if (l.shard == thief) != own {
+				continue
+			}
+			var open []int64
+			for _, id := range l.ids {
+				if !r.done[id] {
+					open = append(open, id)
+				}
+			}
+			if len(open) > len(victimOpen) {
+				victim, victimOpen = l, open
 			}
 		}
-		if len(open) > len(victimOpen) {
-			victim, victimOpen = l, open
-		}
+	}
+	pick(false)
+	if victim == nil {
+		pick(true)
 	}
 	if victim == nil || len(victimOpen) == 0 {
 		return nil
@@ -757,9 +833,19 @@ func (r *run) complete(req CompleteRequest) {
 	defer r.mu.Unlock()
 	l := r.leases[req.LeaseID]
 	if l == nil {
-		return // lease expired (or duplicate completion): credit nothing
+		// Credit nothing: either a duplicated delivery of a completion we
+		// already merged (the shard's retry after a lost reply) or a late
+		// completion whose lease already expired.  Only the incumbent above
+		// was worth keeping; monotonicity made that merge harmless.
+		if r.doneLeases[req.LeaseID] {
+			r.c.dupCompletions.Add(1)
+		} else {
+			r.c.lateCompletions.Add(1)
+		}
+		return
 	}
 	delete(r.leases, req.LeaseID)
+	r.doneLeases[req.LeaseID] = true
 	rem := make(map[int64]bool, len(req.Remaining))
 	for _, id := range req.Remaining {
 		rem[id] = true
@@ -869,7 +955,11 @@ func progressFromStats(s core.SearchStats, bestLeak float64) svto.Progress {
 	}
 }
 
-// Handler serves the shard-facing wire protocol under APIPrefix.
+// Handler serves the shard-facing wire protocol under APIPrefix.  Every
+// response carries this incarnation's run nonce, and any request echoing a
+// *different* nonce is fenced off with 409 before it can touch state: a
+// restarted coordinator re-allocates lease IDs from zero, so a stale
+// shard's /complete for old lease N must never credit new lease N.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST "+APIPrefix+"/register", c.handleRegister)
@@ -877,7 +967,15 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST "+APIPrefix+"/lease", c.handleLease)
 	mux.HandleFunc("POST "+APIPrefix+"/complete", c.handleComplete)
 	mux.HandleFunc("POST "+APIPrefix+"/sync", c.handleSync)
-	return mux
+	return http.HandlerFunc(func(w http.ResponseWriter, rq *http.Request) {
+		w.Header().Set(NonceHeader, c.nonce)
+		if got := rq.Header.Get(NonceHeader); got != "" && got != c.nonce {
+			c.staleNonces.Add(1)
+			http.Error(w, "stale run nonce: coordinator restarted", http.StatusConflict)
+			return
+		}
+		mux.ServeHTTP(w, rq)
+	})
 }
 
 func (c *Coordinator) handleRegister(w http.ResponseWriter, rq *http.Request) {
@@ -889,14 +987,14 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, rq *http.Request) {
 		http.Error(w, "shard name required", http.StatusBadRequest)
 		return
 	}
-	c.touch(req.Shard, req.Workers)
+	c.touch(req.Shard, req.Workers, req.Health)
 	c.logf("dist: shard %s registered (%d workers)", req.Shard, req.Workers)
 	writeJSON(w, struct{}{})
 }
 
 // handleJob hands the shard the running job with the most open work.
 func (c *Coordinator) handleJob(w http.ResponseWriter, rq *http.Request) {
-	c.touch(rq.URL.Query().Get("shard"), -1)
+	c.touch(rq.URL.Query().Get("shard"), -1, nil)
 	var pick *run
 	best := 0
 	c.mu.Lock()
@@ -934,7 +1032,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, rq *http.Request) {
 	if !decodeJSON(w, rq, &req) {
 		return
 	}
-	c.touch(req.Shard, -1)
+	c.touch(req.Shard, -1, nil)
 	r := c.getRun(req.JobID)
 	if r == nil {
 		http.Error(w, "no such job", http.StatusNotFound)
@@ -948,7 +1046,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, rq *http.Request) {
 	if !decodeJSON(w, rq, &req) {
 		return
 	}
-	c.touch(req.Shard, -1)
+	c.touch(req.Shard, -1, nil)
 	r := c.getRun(req.JobID)
 	if r == nil {
 		http.Error(w, "no such job", http.StatusNotFound)
@@ -963,7 +1061,7 @@ func (c *Coordinator) handleSync(w http.ResponseWriter, rq *http.Request) {
 	if !decodeJSON(w, rq, &req) {
 		return
 	}
-	c.touch(req.Shard, -1)
+	c.touch(req.Shard, -1, req.Health)
 	r := c.getRun(req.JobID)
 	if r == nil {
 		http.Error(w, "no such job", http.StatusNotFound)
@@ -973,7 +1071,13 @@ func (c *Coordinator) handleSync(w http.ResponseWriter, rq *http.Request) {
 }
 
 func decodeJSON(w http.ResponseWriter, rq *http.Request, v any) bool {
-	if err := json.NewDecoder(rq.Body).Decode(v); err != nil {
+	body := http.MaxBytesReader(w, rq.Body, maxWireBody)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return false
+		}
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return false
 	}

@@ -109,10 +109,9 @@ func startShard(t *testing.T, url, name string, workers int) {
 // testClient builds the package's own wire client for hand-driving the
 // protocol (fake shards).
 func testClient(url string) *client {
-	return &client{
-		base: strings.TrimRight(url, "/") + APIPrefix,
-		http: &http.Client{Timeout: 10 * time.Second},
-	}
+	return newClient(strings.TrimRight(url, "/")+APIPrefix,
+		&http.Client{Timeout: 10 * time.Second},
+		RetryPolicy{BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond})
 }
 
 // waitJob polls GET /job as the named shard until the coordinator offers

@@ -1,22 +1,26 @@
 package dist
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/url"
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"svto/internal/core"
 	"svto/internal/sim"
 	"svto/pkg/svto"
 )
+
+// shardBaselineCap bounds the shard's per-library baseline cache: a
+// long-lived shard serving many technologies keeps only the most recently
+// used characterizations instead of growing without limit.
+const shardBaselineCap = 4
 
 // ShardConfig configures one worker shard process.
 type ShardConfig struct {
@@ -36,7 +40,11 @@ type ShardConfig struct {
 	// SyncInterval is the heartbeat / incumbent-exchange cadence while a
 	// batch runs; 0 defaults to 200ms.
 	SyncInterval time.Duration
-	// Client overrides the HTTP client.
+	// Retry shapes the per-RPC backoff; the zero value uses the defaults
+	// documented on RetryPolicy.
+	Retry RetryPolicy
+	// Client overrides the HTTP client (e.g. to wrap its transport in a
+	// ChaosTransport).
 	Client *http.Client
 	// Logf, when non-nil, receives shard diagnostics.
 	Logf func(format string, args ...any)
@@ -47,6 +55,12 @@ type ShardConfig struct {
 // complete in a loop, with a background sync pump exchanging incumbents
 // both ways while each batch runs.  A shard holds no durable state — if it
 // dies, its leases expire at the coordinator and the tasks are re-queued.
+//
+// Every RPC retries with capped exponential backoff + jitter, so a lossy
+// network degrades throughput, never correctness.  A coordinator restart
+// (detected through the run-nonce fence) aborts the in-flight job, and the
+// shard re-registers and re-does the fingerprint handshake with the new
+// coordinator incarnation before accepting more work.
 func RunShard(ctx context.Context, cfg ShardConfig) error {
 	if cfg.Coordinator == "" {
 		return fmt.Errorf("dist: shard needs a coordinator URL")
@@ -66,50 +80,34 @@ func RunShard(ctx context.Context, cfg ShardConfig) error {
 	}
 	s := &shard{
 		cfg:       cfg,
-		cl:        &client{base: strings.TrimRight(cfg.Coordinator, "/") + APIPrefix, http: cfg.Client},
-		baselines: make(map[string]*svto.Baseline),
-	}
-	if s.cl.http == nil {
-		s.cl.http = &http.Client{Timeout: 30 * time.Second}
+		cl:        newClient(strings.TrimRight(cfg.Coordinator, "/")+APIPrefix, cfg.Client, cfg.Retry),
+		baselines: newBaselineCache(shardBaselineCap),
 	}
 
-	for {
-		err := s.cl.post(ctx, "/register", RegisterRequest{Shard: cfg.Name, Workers: cfg.Workers}, nil)
-		if err == nil {
-			break
-		}
-		s.logf("dist: shard %s: register: %v", cfg.Name, err)
-		if !sleepCtx(ctx, cfg.PollInterval) {
+	registered := false
+	for ctx.Err() == nil {
+		// (Re-)handshake: forget any adopted nonce so the registration
+		// reply re-adopts whichever coordinator incarnation now answers.
+		s.cl.resetNonce()
+		if !s.register(ctx) {
 			return nil
 		}
+		if registered {
+			s.cl.counters.addReregistration()
+			s.logf("dist: shard %s: re-registered with %s after coordinator restart", cfg.Name, cfg.Coordinator)
+		} else {
+			s.logf("dist: shard %s: registered with %s", cfg.Name, cfg.Coordinator)
+		}
+		registered = true
+		s.pollJobs(ctx)
 	}
-	s.logf("dist: shard %s: registered with %s", cfg.Name, cfg.Coordinator)
-
-	for {
-		if ctx.Err() != nil {
-			return nil
-		}
-		var info JobInfo
-		status, err := s.cl.get(ctx, "/job?shard="+url.QueryEscape(cfg.Name), &info)
-		switch {
-		case err != nil:
-			s.logf("dist: shard %s: poll: %v", cfg.Name, err)
-		case status == http.StatusNoContent:
-			// idle
-		case status == http.StatusOK:
-			s.runJob(ctx, info)
-			continue // immediately look for the next job
-		}
-		if !sleepCtx(ctx, cfg.PollInterval) {
-			return nil
-		}
-	}
+	return nil
 }
 
 type shard struct {
 	cfg       ShardConfig
 	cl        *client
-	baselines map[string]*svto.Baseline // keyed by LibrarySpec.Key
+	baselines *baselineCache
 }
 
 func (s *shard) logf(format string, args ...any) {
@@ -118,41 +116,120 @@ func (s *shard) logf(format string, args ...any) {
 	}
 }
 
-// baseline characterizes (once per library policy) the standby library, so
-// consecutive jobs on the same technology skip re-characterization — the
-// same sharing the daemon's job manager does.
-func (s *shard) baseline(spec svto.LibrarySpec) (*svto.Baseline, error) {
-	if b := s.baselines[spec.Key()]; b != nil {
+// register announces the shard (with its current health snapshot) until
+// it succeeds; false means the context canceled first.
+func (s *shard) register(ctx context.Context) bool {
+	for {
+		err := s.cl.post(ctx, "/register", RegisterRequest{
+			Shard: s.cfg.Name, Workers: s.cfg.Workers, Health: s.cl.counters.snapshot(),
+		}, nil)
+		if err == nil {
+			return true
+		}
+		s.logf("dist: shard %s: register: %v", s.cfg.Name, err)
+		if !sleepCtx(ctx, s.cfg.PollInterval) {
+			return false
+		}
+	}
+}
+
+// pollJobs is the idle loop: ask for work, run it, repeat.  It returns
+// when the context cancels or a coordinator restart is detected (the
+// caller re-registers).
+func (s *shard) pollJobs(ctx context.Context) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		var info JobInfo
+		status, err := s.cl.get(ctx, "/job?shard="+url.QueryEscape(s.cfg.Name), &info)
+		switch {
+		case errors.Is(err, ErrCoordinatorRestarted):
+			s.logf("dist: shard %s: %v", s.cfg.Name, err)
+			return
+		case err != nil:
+			s.logf("dist: shard %s: poll: %v", s.cfg.Name, err)
+		case status == http.StatusNoContent:
+			// idle
+		case status == http.StatusOK:
+			if restarted := s.runJob(ctx, info); restarted {
+				return
+			}
+			continue // immediately look for the next job
+		}
+		if !sleepCtx(ctx, s.cfg.PollInterval) {
+			return
+		}
+	}
+}
+
+// baselineCache is a tiny LRU over characterized standby libraries, keyed
+// by LibrarySpec.Key, so consecutive jobs on the same technology skip
+// re-characterization without letting a many-technology shard grow its
+// memory without bound.  Used only from the shard's job loop (single
+// goroutine).
+type baselineCache struct {
+	cap     int
+	entries map[string]*svto.Baseline
+	order   []string // LRU order, oldest first
+}
+
+func newBaselineCache(cap int) *baselineCache {
+	return &baselineCache{cap: cap, entries: make(map[string]*svto.Baseline)}
+}
+
+func (c *baselineCache) get(spec svto.LibrarySpec) (*svto.Baseline, error) {
+	key := spec.Key()
+	if b := c.entries[key]; b != nil {
+		c.touch(key)
 		return b, nil
 	}
 	b, err := svto.NewBaseline(spec)
 	if err != nil {
 		return nil, err
 	}
-	s.baselines[spec.Key()] = b
+	if len(c.order) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[key] = b
+	c.order = append(c.order, key)
 	return b, nil
 }
 
-// runJob drains one job's leases until the coordinator reports it done (or
-// gone, or the context cancels).
-func (s *shard) runJob(ctx context.Context, info JobInfo) {
-	base, err := s.baseline(info.Request.Library)
+func (c *baselineCache) touch(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(append(c.order[:i:i], c.order[i+1:]...), key)
+			return
+		}
+	}
+}
+
+// runJob drains one job's leases until the coordinator reports it done
+// (or gone, or the context cancels).  The returned bool reports a
+// detected coordinator restart: the in-flight lease is abandoned (the
+// restarted coordinator re-expanded its frontier from the checkpoint, so
+// nothing is lost) and the caller must re-register.
+func (s *shard) runJob(ctx context.Context, info JobInfo) (restarted bool) {
+	base, err := s.baselines.get(info.Request.Library)
 	if err != nil {
 		s.logf("dist: shard %s: job %s: baseline: %v", s.cfg.Name, info.JobID, err)
 		sleepCtx(ctx, s.cfg.PollInterval)
-		return
+		return false
 	}
 	comp, err := svto.Compile(info.Request, base)
 	if err != nil {
 		s.logf("dist: shard %s: job %s: compile: %v", s.cfg.Name, info.JobID, err)
 		sleepCtx(ctx, s.cfg.PollInterval)
-		return
+		return false
 	}
 	coreOpt, err := comp.CoreOptions(info.Request)
 	if err != nil {
 		s.logf("dist: shard %s: job %s: options: %v", s.cfg.Name, info.JobID, err)
 		sleepCtx(ctx, s.cfg.PollInterval)
-		return
+		return false
 	}
 	// The fingerprint handshake: both processes hash the problem they
 	// compiled; a mismatch means a library, technology or version skew and
@@ -161,7 +238,7 @@ func (s *shard) runJob(ctx context.Context, info JobInfo) {
 		s.logf("dist: shard %s: job %s: fingerprint mismatch (coordinator %016x, local %016x); refusing job",
 			s.cfg.Name, info.JobID, info.Fingerprint, got)
 		sleepCtx(ctx, s.cfg.PollInterval)
-		return
+		return false
 	}
 
 	workers := s.cfg.Workers
@@ -177,23 +254,27 @@ func (s *shard) runJob(ctx context.Context, info JobInfo) {
 
 	for {
 		if jobCtx.Err() != nil {
-			return
+			return pump.restarted.Load()
 		}
 		var lr LeaseReply
 		status, err := s.cl.postStatus(jobCtx, "/lease",
 			LeaseRequest{Shard: s.cfg.Name, JobID: info.JobID, Max: s.cfg.MaxLeaseTasks}, &lr)
 		if err != nil {
+			if errors.Is(err, ErrCoordinatorRestarted) {
+				s.logf("dist: shard %s: job %s: %v; abandoning lease loop", s.cfg.Name, info.JobID, err)
+				return true
+			}
 			if status == http.StatusNotFound {
-				return // job finished and was torn down
+				return pump.restarted.Load() // job finished and was torn down
 			}
 			s.logf("dist: shard %s: job %s: lease: %v", s.cfg.Name, info.JobID, err)
 			if !sleepCtx(jobCtx, s.cfg.PollInterval) {
-				return
+				return pump.restarted.Load()
 			}
 			continue
 		}
 		if lr.Done {
-			return
+			return pump.restarted.Load()
 		}
 		if lr.Incumbent != nil {
 			if sol, rerr := lr.Incumbent.resolve(comp.Prob); rerr == nil {
@@ -205,25 +286,36 @@ func (s *shard) runJob(ctx context.Context, info JobInfo) {
 		pump.observe(lr.Epoch)
 		if lr.Wait {
 			if !sleepCtx(jobCtx, s.cfg.PollInterval) {
-				return
+				return pump.restarted.Load()
 			}
 			continue
 		}
-		s.runBatch(jobCtx, comp, coreOpt, workers, share, info, lr)
+		if restarted := s.runBatch(jobCtx, comp, coreOpt, workers, share, info, lr); restarted {
+			return true
+		}
 	}
 }
 
-// runBatch solves one leased batch and reports it.
+// runBatch solves one leased batch and reports it.  The returned bool
+// reports a coordinator restart detected while completing.
 func (s *shard) runBatch(ctx context.Context, comp *svto.Compiled, coreOpt core.Options,
-	workers int, share *core.SharedIncumbent, info JobInfo, lr LeaseReply) {
+	workers int, share *core.SharedIncumbent, info JobInfo, lr LeaseReply) (restarted bool) {
 	nPI := len(comp.Prob.CC.PI)
 	tasks := make([][]sim.Value, 0, len(lr.Tasks))
 	taskID := make(map[string]int64, len(lr.Tasks))
 	for i, b := range lr.Tasks {
 		t, err := decodeTask(b, nPI)
 		if err != nil || i >= len(lr.TaskIDs) {
-			s.logf("dist: shard %s: job %s: bad task in lease %d: %v", s.cfg.Name, info.JobID, lr.LeaseID, err)
-			return
+			// A malformed task (torn reply, version skew) poisons the whole
+			// lease: hand every task straight back so the coordinator
+			// re-queues at once instead of waiting out the lease TTL.
+			s.logf("dist: shard %s: job %s: bad task in lease %d, returning batch: %v",
+				s.cfg.Name, info.JobID, lr.LeaseID, err)
+			return s.complete(ctx, CompleteRequest{
+				Shard: s.cfg.Name, JobID: info.JobID, LeaseID: lr.LeaseID,
+				Remaining: lr.TaskIDs,
+				Failure:   fmt.Sprintf("bad task in lease %d: %v", lr.LeaseID, err),
+			}, info)
 		}
 		tasks = append(tasks, t)
 		taskID[string(b)] = lr.TaskIDs[i]
@@ -232,10 +324,14 @@ func (s *shard) runBatch(ctx context.Context, comp *svto.Compiled, coreOpt core.
 	seed := share.Best()
 	if seed == nil {
 		// The coordinator sends its incumbent with every lease, so this
-		// only happens if that encode failed; try once via sync.
-		s.logf("dist: shard %s: job %s: no incumbent with lease %d, skipping batch", s.cfg.Name, info.JobID, lr.LeaseID)
+		// only happens if that encode failed; hand the batch back and let
+		// the next lease retry the exchange.
+		s.logf("dist: shard %s: job %s: no incumbent with lease %d, returning batch", s.cfg.Name, info.JobID, lr.LeaseID)
+		restarted = s.complete(ctx, CompleteRequest{
+			Shard: s.cfg.Name, JobID: info.JobID, LeaseID: lr.LeaseID, Remaining: lr.TaskIDs,
+		}, info)
 		sleepCtx(ctx, s.cfg.PollInterval)
-		return
+		return restarted
 	}
 	zero := *seed
 	zero.Stats = core.SearchStats{}
@@ -274,36 +370,43 @@ func (s *shard) runBatch(ctx context.Context, comp *svto.Compiled, coreOpt core.
 			creq.Incumbent = w
 		}
 	}
-	for attempt := 0; ; attempt++ {
-		status, err := s.cl.postStatus(ctx, "/complete", creq, nil)
-		if err == nil || status == http.StatusNotFound || attempt >= 2 {
-			if err != nil && status != http.StatusNotFound {
-				// The lease TTL re-queues the batch; our stats are lost
-				// but another shard's re-run recounts them.
-				s.logf("dist: shard %s: job %s: complete lease %d failed, coordinator will re-queue: %v",
-					s.cfg.Name, info.JobID, lr.LeaseID, err)
-			}
-			break
-		}
-		if !sleepCtx(ctx, s.cfg.PollInterval) {
-			break
-		}
-	}
+	restarted = s.complete(ctx, creq, info)
 	if serr != nil {
 		s.logf("dist: shard %s: job %s: batch error: %v", s.cfg.Name, info.JobID, serr)
 		sleepCtx(ctx, s.cfg.PollInterval)
 	}
+	return restarted
+}
+
+// complete reports a lease outcome.  The client already retries transient
+// failures with backoff; if the RPC still fails, the lease TTL re-queues
+// the batch (our stats are lost but another shard's re-run recounts
+// them), and duplicated delivery of a successful completion is dropped by
+// the coordinator's shard+leaseID dedup, so retrying is always safe.
+func (s *shard) complete(ctx context.Context, creq CompleteRequest, info JobInfo) (restarted bool) {
+	status, err := s.cl.postStatus(ctx, "/complete", creq, nil)
+	switch {
+	case errors.Is(err, ErrCoordinatorRestarted):
+		s.logf("dist: shard %s: job %s: %v; abandoning lease %d", s.cfg.Name, info.JobID, err, creq.LeaseID)
+		return true
+	case err != nil && status != http.StatusNotFound:
+		s.logf("dist: shard %s: job %s: complete lease %d failed, coordinator will re-queue: %v",
+			s.cfg.Name, info.JobID, creq.LeaseID, err)
+	}
+	return false
 }
 
 // pump is the background sync loop of one job: heartbeat, push local
 // incumbent improvements, pull remote ones.  It cancels the job context
-// when the coordinator reports the job done or gone.
+// when the coordinator reports the job done or gone, and records a
+// detected coordinator restart for the lease loop to act on.
 type pump struct {
-	stopOnce sync.Once
-	stopCh   chan struct{}
-	wg       sync.WaitGroup
-	epochMu  sync.Mutex
-	remote   int64 // last coordinator epoch observed anywhere
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+	restarted atomic.Bool
+	epochMu   sync.Mutex
+	remote    int64 // last coordinator epoch observed anywhere
 }
 
 // observe records a coordinator epoch learned outside the pump (from a
@@ -352,7 +455,8 @@ func (s *shard) startPump(ctx context.Context, cancel context.CancelFunc,
 			p.epochMu.Lock()
 			remote := p.remote
 			p.epochMu.Unlock()
-			req := SyncRequest{Shard: s.cfg.Name, JobID: jobID, Epoch: remote}
+			req := SyncRequest{Shard: s.cfg.Name, JobID: jobID, Epoch: remote,
+				Health: s.cl.counters.snapshot()}
 			if localEpoch > pushed && local != nil {
 				if w, err := wireIncumbent(prob, local); err == nil {
 					req.Incumbent = w
@@ -362,6 +466,11 @@ func (s *shard) startPump(ctx context.Context, cancel context.CancelFunc,
 			var reply SyncReply
 			status, err := s.cl.postStatus(ctx, "/sync", req, &reply)
 			if err != nil {
+				if errors.Is(err, ErrCoordinatorRestarted) {
+					p.restarted.Store(true)
+					cancel()
+					return
+				}
 				if status == http.StatusNotFound {
 					cancel()
 					return
@@ -386,65 +495,15 @@ func (s *shard) startPump(ctx context.Context, cancel context.CancelFunc,
 }
 
 // sleepCtx sleeps d or until ctx cancels; reports whether ctx is still
-// live.
+// live.  A stopped timer (not time.After) so tight poll/retry cadences do
+// not pile up pending timers for the garbage collector.
 func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
 	select {
 	case <-ctx.Done():
 		return false
-	case <-time.After(d):
+	case <-timer.C:
 		return ctx.Err() == nil
 	}
-}
-
-// client is a minimal JSON-over-HTTP client for the wire protocol.
-type client struct {
-	base string
-	http *http.Client
-}
-
-func (c *client) post(ctx context.Context, path string, in, out any) error {
-	_, err := c.postStatus(ctx, path, in, out)
-	return err
-}
-
-func (c *client) postStatus(ctx context.Context, path string, in, out any) (int, error) {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return 0, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, out)
-}
-
-func (c *client) get(ctx context.Context, path string, out any) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return 0, err
-	}
-	return c.do(req, out)
-}
-
-func (c *client) do(req *http.Request, out any) (int, error) {
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNoContent {
-		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil
-	}
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return resp.StatusCode, fmt.Errorf("%s %s: %s: %s", req.Method, req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
-	}
-	if out == nil {
-		io.Copy(io.Discard, resp.Body)
-		return resp.StatusCode, nil
-	}
-	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }

@@ -42,6 +42,10 @@ const APIPrefix = "/cluster/v1"
 type RegisterRequest struct {
 	Shard   string `json:"shard"`
 	Workers int    `json:"workers"` // search workers this shard contributes
+	// Health carries the shard's transport-degradation counters, so a
+	// re-registration after a coordinator restart delivers the shard's
+	// history to the new incarnation.
+	Health *ShardHealth `json:"health,omitempty"`
 }
 
 // JobInfo describes a job a shard should compile and join.  The shard
@@ -161,6 +165,9 @@ type SyncRequest struct {
 	JobID     string         `json:"job_id"`
 	Epoch     int64          `json:"epoch"`
 	Incumbent *WireIncumbent `json:"incumbent,omitempty"`
+	// Health piggybacks the shard's transport-degradation counters on the
+	// heartbeat, keeping /v1/stats current without a separate scrape.
+	Health *ShardHealth `json:"health,omitempty"`
 }
 
 // SyncReply returns the coordinator's incumbent iff it is newer than the

@@ -17,8 +17,9 @@ type JobStat struct {
 // ClusterStats describes the attached coordinator, when the daemon runs in
 // cluster mode.
 type ClusterStats struct {
-	Shards      []dist.ShardStatus `json:"shards"`
-	RunningJobs []string           `json:"running_jobs,omitempty"`
+	Shards      []dist.ShardStatus     `json:"shards"`
+	RunningJobs []string               `json:"running_jobs,omitempty"`
+	Health      dist.CoordinatorHealth `json:"health"`
 }
 
 // StatsView is the daemon-wide operational snapshot served by GET
@@ -58,6 +59,7 @@ func (m *Manager) Stats() StatsView {
 		v.Cluster = &ClusterStats{
 			Shards:      m.cfg.Cluster.Shards(),
 			RunningJobs: m.cfg.Cluster.RunningJobs(),
+			Health:      m.cfg.Cluster.Health(),
 		}
 	}
 	return v

@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Network-chaos smoke test: the same job twice, once on a clean plain
+# daemon (workers=1, the deterministic reference) and once on a 2-shard
+# cluster whose every RPC rides a seeded hostile network — >20% of
+# requests dropped, duplicated, delayed or errored on the shard side, and
+# the coordinator's own replies cut, truncated and delayed by the server
+# middleware.  The cluster run must finish with CSV and Verilog artifacts
+# byte-identical to the reference, and the daemon's /v1/stats must show
+# the degradation (retries) that proves the chaos actually bit.
+#
+# Usage: scripts/cluster_chaos_smoke.sh [workdir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+WORK="${1:-$(mktemp -d)}"
+mkdir -p "$WORK"
+echo "workdir: $WORK"
+
+go build -o "$WORK/leakoptd" ./cmd/leakoptd
+go build -o "$WORK/leakopt" ./cmd/leakopt
+go build -o "$WORK/benchgen" ./cmd/benchgen
+
+"$WORK/benchgen" -random chaos:7:14:150 -out "$WORK"
+
+ADDR="127.0.0.1:18092"
+BASE="http://$ADDR"
+DAEMON_PID=""
+SHARD_PIDS=()
+
+# Well over the 20% combined fault floor: per request, P(any fault) =
+# 1 - (1-.1)(1-.08)(1-.08)(1-.04)(1-.05) on top of a 20% delay rate.
+SHARD_CHAOS="drop=0.1,dropreply=0.08,dup=0.08,trunc=0.04,err=0.05,delay=0.2,maxdelay=10ms"
+SERVER_CHAOS="seed=13,dropreply=0.1,trunc=0.05,err=0.05,delay=0.2,maxdelay=10ms"
+
+start_daemon() {
+    local state="$1" log="$2"
+    shift 2
+    "$WORK/leakoptd" -addr "$ADDR" -state "$state" -jobs 1 -job-workers 1 \
+        -checkpoint-interval 25ms "$@" >"$log" 2>&1 &
+    DAEMON_PID=$!
+    for _ in $(seq 1 200); do
+        curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+        kill -0 "$DAEMON_PID" 2>/dev/null || { cat "$log"; echo "FAIL: daemon died on start"; exit 1; }
+        sleep 0.05
+    done
+    echo "FAIL: daemon did not become healthy"; exit 1
+}
+
+start_shard() {
+    local name="$1" seed="$2" log="$3"
+    "$WORK/leakoptd" -shard -coordinator "$BASE" -shard-name "$name" \
+        -job-workers 1 -chaos "seed=$seed,$SHARD_CHAOS" >"$log" 2>&1 &
+    SHARD_PIDS+=($!)
+}
+
+wait_shards() {
+    local want="$1"
+    for _ in $(seq 1 200); do
+        local live
+        live=$(curl -fsS "$BASE/v1/stats" | grep -c '"live": true' || true)
+        [ "$live" -ge "$want" ] && return 0
+        sleep 0.05
+    done
+    echo "FAIL: $want shard(s) never registered"; exit 1
+}
+
+stop_all() {
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    done
+    for pid in "${SHARD_PIDS[@]:-}"; do
+        [ -n "$pid" ] && wait "$pid" 2>/dev/null || true
+    done
+    SHARD_PIDS=()
+    [ -n "$DAEMON_PID" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    [ -n "$DAEMON_PID" ] && wait "$DAEMON_PID" 2>/dev/null || true
+    DAEMON_PID=""
+}
+trap stop_all EXIT
+
+"$WORK/leakopt" -in "$WORK/chaos.bench" -method heu2 -heu2sec 120 \
+    -workers 1 -vectors 200 -penalty 5 \
+    -dump-request "$WORK/request.json"
+
+submit() {
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        --data-binary @"$WORK/request.json" "$BASE/v1/jobs" \
+        | sed -n 's/.*"id": "\([0-9a-f]*\)".*/\1/p' | head -1
+}
+
+job_status() {
+    curl -fsS "$BASE/v1/jobs/$1" | sed -n 's/^  "status": "\([a-z]*\)".*/\1/p' | head -1
+}
+
+wait_done() {
+    local id="$1"
+    for _ in $(seq 1 4800); do
+        case "$(job_status "$id")" in
+            done) return 0 ;;
+            failed|canceled) echo "FAIL: job $id $(job_status "$id")"; exit 1 ;;
+        esac
+        sleep 0.05
+    done
+    echo "FAIL: job $id did not finish"; exit 1
+}
+
+echo "--- reference run (plain daemon, clean network)"
+start_daemon "$WORK/ref-state" "$WORK/ref-daemon.log"
+REF_ID=$(submit)
+echo "reference job: $REF_ID"
+wait_done "$REF_ID"
+curl -fsS "$BASE/v1/jobs/$REF_ID/artifacts/csv" -o "$WORK/ref.csv"
+curl -fsS "$BASE/v1/jobs/$REF_ID/artifacts/verilog" -o "$WORK/ref.v"
+stop_all
+
+echo "--- chaos run (2 shards, seeded lossy network on both sides)"
+start_daemon "$WORK/chaos-state" "$WORK/chaos-daemon.log" -cluster -chaos-server "$SERVER_CHAOS"
+start_shard lossy1 7 "$WORK/shard-lossy1.log"
+start_shard lossy2 11 "$WORK/shard-lossy2.log"
+wait_shards 2
+JOB_ID=$(submit)
+echo "chaos job: $JOB_ID"
+wait_done "$JOB_ID"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/artifacts/csv" -o "$WORK/chaos.csv"
+curl -fsS "$BASE/v1/jobs/$JOB_ID/artifacts/verilog" -o "$WORK/chaos.v"
+curl -fsS "$BASE/v1/stats" -o "$WORK/chaos-stats.json"
+stop_all
+
+echo "--- verifying the chaos actually bit (shard retries in /v1/stats)"
+if ! grep -E '"retries": [0-9]+' "$WORK/chaos-stats.json" | grep -qv '"retries": 0'; then
+    echo "FAIL: no shard reported any retries — the fault profile injected nothing"
+    cat "$WORK/chaos-stats.json"
+    exit 1
+fi
+grep -E '"(retries|timeouts|give_ups|duplicate_completions|late_completions|lease_expiries)":' \
+    "$WORK/chaos-stats.json" | sed 's/^ */    /' || true
+
+echo "--- comparing artifacts byte-for-byte"
+if ! diff -u "$WORK/ref.csv" "$WORK/chaos.csv"; then
+    echo "FAIL: chaos run CSV differs from the clean reference"
+    exit 1
+fi
+if ! diff -u "$WORK/ref.v" "$WORK/chaos.v"; then
+    echo "FAIL: chaos run Verilog differs from the clean reference"
+    exit 1
+fi
+echo "PASS: 2-shard run on a seeded lossy network matched the clean reference byte-for-byte"
